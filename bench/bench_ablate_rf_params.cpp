@@ -1,0 +1,56 @@
+// Ablation A2: random-forest hyper-parameters vs OOB error on the MM
+// sweep (n_trees x min_node_size, plus mtry). Justifies the library's
+// defaults (500 trees; min node 2 for small scaling sweeps).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/model.hpp"
+#include "profiling/workloads.hpp"
+
+int main() {
+  using namespace bf;
+  bench::print_header("Ablation A2",
+                      "forest hyper-parameters vs OOB error (MM, GTX580)");
+
+  const gpusim::Device device(gpusim::gtx580());
+  const auto sweep = profiling::sweep(
+      profiling::matmul_workload(), device,
+      profiling::log2_sizes(32, 2048, 24, 16));
+
+  std::printf("OOB %% variance explained (higher is better):\n\n");
+  std::vector<std::vector<std::string>> rows;
+  for (const std::size_t min_node : {1u, 2u, 5u, 10u}) {
+    std::vector<std::string> row{"min_node=" + std::to_string(min_node)};
+    for (const std::size_t n_trees : {10u, 50u, 200u, 500u}) {
+      core::ModelOptions opt;
+      opt.exclude = bench::paper_excludes();
+      opt.forest.n_trees = n_trees;
+      opt.forest.min_node_size = min_node;
+      const auto model = core::BlackForestModel::fit(sweep, opt);
+      row.push_back(report::cell(model.pct_var_explained(), 1));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::printf("%s\n", report::table({"", "10 trees", "50 trees",
+                                     "200 trees", "500 trees"},
+                                    rows)
+                          .c_str());
+
+  std::printf("mtry sweep at 500 trees, min_node=2:\n\n");
+  std::vector<std::vector<std::string>> mrows;
+  for (const std::size_t mtry : {1u, 2u, 4u, 8u, 16u}) {
+    core::ModelOptions opt;
+    opt.exclude = bench::paper_excludes();
+    opt.forest.n_trees = 500;
+    opt.forest.min_node_size = 2;
+    opt.forest.mtry = mtry;
+    const auto model = core::BlackForestModel::fit(sweep, opt);
+    mrows.push_back({std::to_string(mtry),
+                     report::cell(model.pct_var_explained(), 1),
+                     report::cell(model.oob_mse(), 4)});
+  }
+  std::printf("%s", report::table({"mtry", "OOB expl var %", "OOB MSE"},
+                                  mrows)
+                        .c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Extension A11: atomic-contention bottlenecks.
+//
+// Histogramming with shared-memory atomics adds a bottleneck class the
+// paper's three case studies do not cover: serialisation that depends on
+// the *data distribution*, not the access pattern. We sweep the skew of
+// the input distribution and show (1) the mechanistic counters, and
+// (2) that BlackForest's importance analysis pins the time variation on
+// the replay/conflict counters when skew varies at fixed size.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/model.hpp"
+#include "ml/dataset.hpp"
+#include "profiling/profiler.hpp"
+#include "profiling/workloads.hpp"
+
+int main() {
+  using namespace bf;
+  bench::print_header("Extension A11",
+                      "atomic contention in shared-memory histogramming");
+
+  const gpusim::Device device(gpusim::gtx580());
+  profiling::Profiler profiler;
+
+  std::printf("skew sweep at n = 2^22, 256 bins:\n");
+  std::vector<std::vector<std::string>> rows;
+  for (const double skew : {0.0, 0.25, 0.5, 0.75, 0.95}) {
+    const auto r = profiler.profile(profiling::histogram_workload(skew),
+                                    device, 1 << 22);
+    rows.push_back({report::cell(skew, 2),
+                    report::cell(r.counters.at("l1_shared_bank_conflict"), 0),
+                    report::cell(r.counters.at("inst_replay_overhead"), 2),
+                    report::cell(r.counters.at("ipc"), 2),
+                    report::cell(r.time_ms, 3)});
+  }
+  std::printf("%s\n",
+              report::table({"skew", "conflict replays",
+                             "inst_replay_overhead", "ipc", "time_ms"},
+                            rows)
+                  .c_str());
+
+  // Now let BlackForest find it: fixed size, skew as the problem
+  // characteristic. The replay counters must dominate importance.
+  ml::Dataset ds;
+  bool ready = false;
+  std::vector<std::string> names;
+  for (int s = 0; s <= 19; ++s) {
+    const double skew = s / 20.0;
+    auto r = profiler.profile(profiling::histogram_workload(skew), device,
+                              1 << 21);
+    if (!ready) {
+      ds.add_column("size", {});
+      for (const auto& [name, _] : r.counters) {
+        names.push_back(name);
+        ds.add_column(name, {});
+      }
+      ds.add_column("time_ms", {});
+      ready = true;
+    }
+    std::vector<double> row{skew};  // skew plays the "size" role
+    for (const auto& name : names) row.push_back(r.counters.at(name));
+    row.push_back(r.time_ms);
+    ds.add_row(row);
+  }
+
+  core::ModelOptions mo;
+  mo.exclude = bench::paper_excludes();
+  mo.forest.n_trees = 400;
+  mo.forest.min_node_size = 2;
+  const auto model = core::BlackForestModel::fit(ds, mo);
+  bench::print_importance(model, 8,
+                          "importance with skew as the problem "
+                          "characteristic");
+  std::printf("expected: the shared-replay/conflict counters and "
+              "issue-pressure metrics carry the\nsignal, since the memory "
+              "traffic is identical across the sweep.\n");
+  return 0;
+}

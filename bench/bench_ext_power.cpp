@@ -1,0 +1,81 @@
+// Extension A5: power as the response variable (paper §7: "our method is
+// not limited to predicting execution time - one could use other metrics
+// of interest, such as power, as response variable").
+//
+// We rebuild the pipeline with the estimated average board power as the
+// response: importance analysis shows which activities draw power, and
+// problem scaling predicts the power of unseen sizes.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/model.hpp"
+#include "core/predictor.hpp"
+#include "profiling/workloads.hpp"
+
+int main() {
+  using namespace bf;
+  bench::print_header("Extension A5",
+                      "power as the response variable (MM, GTX580)");
+
+  const gpusim::Device device(gpusim::gtx580());
+  const auto sweep = profiling::sweep(
+      profiling::matmul_workload(), device,
+      profiling::log2_sizes(32, 2048, 24, 16));
+
+  // Re-target the pipeline: power_avg_w becomes the response (the column
+  // the core treats as "time_ms"), execution time becomes a predictor.
+  ml::Dataset ds;
+  for (const auto& name : sweep.column_names()) {
+    if (name == "power_avg_w") continue;
+    if (name == profiling::kTimeColumn) {
+      ds.add_column("exec_time_ms", sweep.column(name));
+    } else {
+      ds.add_column(name, sweep.column(name));
+    }
+  }
+  ds.add_column(profiling::kTimeColumn, sweep.column("power_avg_w"));
+
+  core::ProblemScalingOptions opt;
+  opt.model.exclude = {"flop_sp_efficiency"};
+  opt.model.forest.n_trees = 400;
+  const auto predictor = core::ProblemScalingPredictor::build(ds, opt);
+
+  bench::print_importance(predictor.full_model(), 10,
+                          "counters most influential for board power");
+
+  const auto& test = predictor.full_model().test_data();
+  const auto series = predictor.validate(
+      test.column(profiling::kSizeColumn),
+      test.column(profiling::kTimeColumn));
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < series.sizes.size(); ++i) {
+    rows.push_back({report::cell(series.sizes[i], 0),
+                    report::cell(series.measured_ms[i], 1),
+                    report::cell(series.predicted_ms[i], 1)});
+  }
+  std::printf("%s", report::table({"size", "measured W", "predicted W"},
+                                  rows)
+                        .c_str());
+  std::printf("power prediction: MSE %.3g, explained variance %.1f%%, "
+              "median |err| %.1f%%\n",
+              series.mse, 100.0 * series.explained_variance,
+              series.median_abs_pct_error);
+
+  // Performance-per-watt view (paper: "evaluate computing efficiency in
+  // terms of performance per watt").
+  std::printf("\nperformance per watt across the sweep:\n");
+  std::vector<std::vector<std::string>> ppw;
+  for (std::size_t r = 0; r < sweep.num_rows(); r += 6) {
+    const double n = sweep.at(r, profiling::kSizeColumn);
+    const double gflops = 2.0 * n * n * n / 1e9 /
+                          (sweep.at(r, profiling::kTimeColumn) * 1e-3);
+    const double watts = sweep.at(r, "power_avg_w");
+    ppw.push_back({report::cell(n, 0), report::cell(gflops, 1),
+                   report::cell(watts, 1),
+                   report::cell(gflops / watts, 2)});
+  }
+  std::printf("%s", report::table({"n", "GFLOP/s", "W", "GFLOP/s/W"},
+                                  ppw)
+                        .c_str());
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Fig. 2 reproduction: bottleneck analysis of reduce1 (strided shared-
+// memory addressing -> bank conflicts).
+#include "reduce_figure.hpp"
+
+int main() {
+  bf::bench::run_reduce_figure(
+      "Figure 2", 1,
+      {"shared_replay_overhead", "inst_replay_overhead",
+       "l2_read_throughput"});
+  return 0;
+}

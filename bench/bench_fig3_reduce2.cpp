@@ -1,0 +1,13 @@
+// Fig. 3 reproduction: reduce2 (sequential addressing). The paper's key
+// observation: "the most important counter for reduce1 is the least
+// important for reduce2" — the bank-conflict metric vanishes entirely
+// (our pipeline drops it as a constant-zero column).
+#include "reduce_figure.hpp"
+
+int main() {
+  bf::bench::run_reduce_figure(
+      "Figure 3", 2,
+      {"l1_global_load_miss", "l2_write_transactions",
+       "l2_read_transactions"});
+  return 0;
+}

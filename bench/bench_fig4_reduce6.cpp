@@ -1,0 +1,10 @@
+// Fig. 4 reproduction: reduce6 (fully optimised, multiple elements per
+// thread); memory counters remain the most influential, confirming the
+// bandwidth-bound character of reduction.
+#include "reduce_figure.hpp"
+
+int main() {
+  bf::bench::run_reduce_figure(
+      "Figure 4", 6, {"gst_request", "shared_store", "shared_load"});
+  return 0;
+}

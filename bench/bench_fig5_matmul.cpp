@@ -1,0 +1,66 @@
+// Fig. 5 reproduction: characterisation and prediction of tiled matrix
+// multiply on the GTX580 (paper §6.1.1).
+//  (a) variable importance — global-store throughput & occupancy lead;
+//  (b) measured vs predicted times on the held-out 20% (paper: average
+//      MSE 3.2, 98% explained variance);
+//  (c) per-counter GLM models with residual deviance (paper: all low
+//      except inst_replay_overhead).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/predictor.hpp"
+#include "profiling/workloads.hpp"
+
+int main() {
+  using namespace bf;
+  bench::print_header("Figure 5",
+                      "characterisation and prediction of MM (GTX580)");
+
+  const gpusim::Device device(gpusim::gtx580());
+  const auto workload = profiling::matmul_workload();
+  // 24 runs between 2^5 and 2^11, as in the paper.
+  const auto sizes = profiling::log2_sizes(32, 2048, 24, 16);
+  const auto sweep = profiling::sweep(workload, device, sizes);
+  std::printf("collected %zu runs over n in [32, 2048]\n\n",
+              sweep.num_rows());
+
+  core::ProblemScalingOptions opt;
+  opt.model.exclude = bench::paper_excludes();
+  opt.model.forest.n_trees = 500;
+  const auto predictor = core::ProblemScalingPredictor::build(sweep, opt);
+
+  bench::print_importance(predictor.full_model(), 10,
+                          "(a) variable importance");
+
+  // (b): predict the held-out test rows (unseen by the forest).
+  const auto& test = predictor.full_model().test_data();
+  std::vector<double> test_sizes = test.column(profiling::kSizeColumn);
+  std::vector<double> measured = test.column(profiling::kTimeColumn);
+  const auto series = predictor.validate(test_sizes, measured);
+  bench::print_prediction_series("(b) execution time prediction",
+                                 series.sizes, series.measured_ms,
+                                 series.predicted_ms);
+  std::printf("average MSE %.4g, explained variance %.1f%% "
+              "(paper: MSE 3.2, 98%%)\n\n",
+              series.mse, 100.0 * series.explained_variance);
+
+  // (c): counter models.
+  std::printf("(c) models of the retained counters vs matrix size:\n");
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& info : predictor.counter_models().info()) {
+    rows.push_back({info.counter,
+                    info.chosen == core::CounterModelKind::kGlm ? "glm"
+                                                                : "mars",
+                    report::cell(info.r2, 4),
+                    report::cell(info.residual_deviance, 3)});
+  }
+  std::printf("%s\n", report::table({"counter", "model", "R^2",
+                                     "residual deviance"},
+                                    rows)
+                          .c_str());
+  std::printf("reduced forest keeps %.1f%% OOB variance explained "
+              "(full: %.1f%%)\n",
+              predictor.reduced_model().pct_var_explained(),
+              predictor.full_model().pct_var_explained());
+  return 0;
+}

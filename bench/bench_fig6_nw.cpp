@@ -1,0 +1,61 @@
+// Fig. 6 reproduction: characterisation and prediction of Needleman-
+// Wunsch on the GTX580 (paper §6.1.2).
+//  (a) variable importance — achieved_occupancy and size lead, followed
+//      by a bunch of near-equal memory predictors;
+//  (b) predictions for held-out sequence lengths (paper: RF MSE ~0,
+//      99% explained variance);
+//  (c) MARS counter models (paper: average R^2 0.99 via earth).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/predictor.hpp"
+#include "profiling/workloads.hpp"
+
+int main() {
+  using namespace bf;
+  bench::print_header("Figure 6",
+                      "characterisation and prediction of NW (GTX580)");
+
+  const gpusim::Device device(gpusim::gtx580());
+  const auto workload = profiling::nw_workload();
+  // The paper sweeps 64..8192 with a pitch of 64 (129 trials).
+  const auto sizes = profiling::linear_sizes(64, 8192, 64);
+  const auto sweep = profiling::sweep(workload, device, sizes);
+  std::printf("collected %zu runs over len in [64, 8192] step 64\n\n",
+              sweep.num_rows());
+
+  core::ProblemScalingOptions opt;
+  opt.model.exclude = bench::paper_excludes();
+  opt.model.forest.n_trees = 500;
+  opt.counter_models.kind = core::CounterModelKind::kMars;  // earth, as in
+                                                            // the paper
+  const auto predictor = core::ProblemScalingPredictor::build(sweep, opt);
+
+  bench::print_importance(predictor.full_model(), 12,
+                          "(a) variable importance");
+
+  const auto& test = predictor.full_model().test_data();
+  const auto series = predictor.validate(
+      test.column(profiling::kSizeColumn),
+      test.column(profiling::kTimeColumn));
+  bench::print_prediction_series("(b) execution time prediction",
+                                 series.sizes, series.measured_ms,
+                                 series.predicted_ms);
+  std::printf("average MSE %.4g, explained variance %.1f%% "
+              "(paper: MSE ~0, 99%%)\n\n",
+              series.mse, 100.0 * series.explained_variance);
+
+  std::printf("(c) MARS models of the retained counters vs sequence "
+              "length:\n");
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& info : predictor.counter_models().info()) {
+    rows.push_back({info.counter,
+                    info.chosen == core::CounterModelKind::kGlm ? "glm"
+                                                                : "mars",
+                    report::cell(info.r2, 4)});
+  }
+  std::printf("%s", report::table({"counter", "model", "R^2"}, rows).c_str());
+  std::printf("average R^2 = %.4f (paper: 0.99)\n",
+              predictor.counter_models().average_r2());
+  return 0;
+}

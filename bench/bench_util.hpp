@@ -1,0 +1,108 @@
+// Shared helpers for the reproduction benches (one binary per paper
+// table/figure). Each bench prints the same rows/series the paper
+// reports; EXPERIMENTS.md records paper-vs-measured for each.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/pca_refine.hpp"
+#include "profiling/sweep.hpp"
+#include "report/ascii.hpp"
+
+namespace bf::bench {
+
+/// Metrics this library adds beyond the paper's counter set; excluded
+/// from paper-figure reproductions so variable importance competes over
+/// the same variables the paper had.
+inline std::vector<std::string> paper_excludes() {
+  return {"power_avg_w", "flop_sp_efficiency"};
+}
+
+inline void print_header(const std::string& id, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Variable-importance bar chart (the paper's Fig (a) panels).
+inline void print_importance(const core::BlackForestModel& model,
+                             std::size_t top_k,
+                             const std::string& title) {
+  const auto imp = model.importance();
+  std::vector<std::pair<std::string, double>> bars;
+  for (std::size_t i = 0; i < imp.size() && i < top_k; ++i) {
+    bars.emplace_back(imp[i].name, imp[i].pct_inc_mse);
+  }
+  std::printf("%s", report::bar_chart(title + "  (%IncMSE)", bars).c_str());
+  std::printf("  model: %.1f%% variance explained (OOB), OOB MSE %.4g\n\n",
+              model.pct_var_explained(), model.oob_mse());
+}
+
+/// Partial-dependence panel (the paper's Fig (b) panels).
+inline void print_partial_dependence(const core::BlackForestModel& model,
+                                     const std::string& variable) {
+  const auto curve = model.partial_dependence(variable, 20);
+  report::Series s;
+  s.name = "avg predicted time_ms";
+  for (const auto& p : curve) {
+    s.x.push_back(p.x);
+    s.y.push_back(p.y);
+  }
+  std::printf("%s",
+              report::xy_plot("partial dependence of time on " + variable,
+                              {s})
+                  .c_str());
+  std::printf("\n");
+}
+
+/// PCA panel: retained components with varimax loadings + facet labels.
+inline void print_pca(const core::PcaRefinement& refinement) {
+  std::printf("PCA refinement: %zu components cover %.1f%% of variance\n",
+              refinement.components.size(),
+              100.0 * refinement.variance_covered);
+  for (const auto& comp : refinement.components) {
+    std::printf("  %s\n", comp.label.c_str());
+    std::size_t shown = 0;
+    for (const auto& [name, loading] : comp.loadings) {
+      if (shown++ >= 5) break;
+      std::printf("      %-28s %+.2f\n", name.c_str(), loading);
+    }
+  }
+  std::printf("\n");
+}
+
+/// Measured-vs-predicted series (the paper's prediction panels).
+inline void print_prediction_series(const std::string& title,
+                                    const std::vector<double>& sizes,
+                                    const std::vector<double>& measured,
+                                    const std::vector<double>& predicted) {
+  report::Series m;
+  m.name = "measured";
+  m.x = sizes;
+  m.y = measured;
+  report::Series p;
+  p.name = "predicted";
+  p.x = sizes;
+  p.y = predicted;
+  std::printf("%s", report::xy_plot(title, {m, p}, 64, 16,
+                                    /*log_x=*/true)
+                        .c_str());
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    rows.push_back({report::cell(sizes[i], 0), report::cell(measured[i], 4),
+                    report::cell(predicted[i], 4),
+                    report::cell(100.0 * (predicted[i] - measured[i]) /
+                                     measured[i],
+                                 1) +
+                        "%"});
+  }
+  std::printf("%s\n",
+              report::table({"size", "measured_ms", "predicted_ms", "err"},
+                            rows)
+                  .c_str());
+}
+
+}  // namespace bf::bench

@@ -1,0 +1,45 @@
+// Shared driver for the paper's §5 reduction figures (Figs 2, 3, 4): one
+// reduce variant analysed with variable importance, partial dependence
+// and PCA refinement on the GTX580.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/bottleneck.hpp"
+#include "core/pipeline.hpp"
+#include "profiling/workloads.hpp"
+
+namespace bf::bench {
+
+inline void run_reduce_figure(const std::string& figure_id, int variant,
+                              const std::vector<std::string>& paper_top3) {
+  print_header(figure_id,
+               "counters affecting the performance of reduce" +
+                   std::to_string(variant) + " (GTX580)");
+
+  core::PipelineConfig cfg;
+  cfg.workload = profiling::reduce_workload(variant);
+  cfg.arch = gpusim::gtx580();
+  cfg.sizes = profiling::log2_sizes(1 << 14, 1 << 24, 60, 256);
+  cfg.model.exclude = paper_excludes();
+  cfg.model.forest.n_trees = 500;
+  cfg.pca.exclude = paper_excludes();
+
+  const auto out = core::run_analysis(cfg);
+
+  print_importance(out.model, 10, "(a) variable importance");
+  const auto top = out.model.top_variables(3);
+  print_partial_dependence(out.model, top[0]);
+  print_pca(out.pca);
+
+  std::printf("paper's top-3 : ");
+  for (const auto& v : paper_top3) std::printf("%s  ", v.c_str());
+  std::printf("\nours   top-3 : ");
+  for (const auto& v : top) std::printf("%s  ", v.c_str());
+  std::printf("\n\n%s\n", core::to_text(out.report).c_str());
+}
+
+}  // namespace bf::bench

@@ -1,0 +1,63 @@
+// Hardware scaling (paper §6.2): train on one GPU, predict another.
+//
+// Needleman-Wunsch is the paper's hard case: the important counters on
+// Fermi (L1/L2 caching) differ from Kepler's (throughput), so the
+// similarity test fails and the mixed-importance workaround engages.
+//
+// Build & run:  ./build/examples/nw_hardware_scaling
+#include <cstdio>
+
+#include "core/predictor.hpp"
+#include "profiling/sweep.hpp"
+#include "profiling/workloads.hpp"
+
+int main() {
+  using namespace bf;
+  const auto workload = profiling::nw_workload();
+  const auto sizes = profiling::linear_sizes(64, 4096, 64);
+
+  profiling::SweepOptions sweep_opt;
+  sweep_opt.machine_characteristics = true;  // inject Table 2 columns
+
+  std::printf("profiling %s on gtx580 (training GPU)...\n",
+              workload.name.c_str());
+  const gpusim::Device fermi(gpusim::gtx580());
+  sweep_opt.profiler.seed = 1;
+  const auto source = profiling::sweep(workload, fermi, sizes, sweep_opt);
+
+  std::printf("profiling %s on k20m (target GPU)...\n",
+              workload.name.c_str());
+  const gpusim::Device kepler(gpusim::kepler_k20m());
+  sweep_opt.profiler.seed = 2;
+  const auto target = profiling::sweep(workload, kepler, sizes, sweep_opt);
+
+  core::HardwareScalingOptions options;
+  options.model.exclude = {"power_avg_w", "flop_sp_efficiency"};
+  const auto result =
+      core::HardwareScalingPredictor::predict(source, target, options);
+
+  std::printf("\nimportance similarity between the GPUs: %.2f\n",
+              result.similarity);
+  std::printf("strategy: %s\n", result.used_mixed_variables
+                                    ? "mixed-importance workaround"
+                                    : "straightforward");
+  std::printf("predictors used:");
+  for (const auto& v : result.variables) std::printf(" %s", v.c_str());
+
+  std::printf("\n\npredictions on the k20m test split:\n");
+  std::printf("%-8s %-14s %-14s %s\n", "len", "predicted_ms",
+              "measured_ms", "error");
+  for (std::size_t i = 0; i < result.series.sizes.size(); ++i) {
+    std::printf("%-8.0f %-14.4f %-14.4f %+.1f%%\n", result.series.sizes[i],
+                result.series.predicted_ms[i],
+                result.series.measured_ms[i],
+                100.0 *
+                    (result.series.predicted_ms[i] -
+                     result.series.measured_ms[i]) /
+                    result.series.measured_ms[i]);
+  }
+  std::printf("\nmedian |error| %.1f%%, explained variance %.1f%%\n",
+              result.series.median_abs_pct_error,
+              100.0 * result.series.explained_variance);
+  return 0;
+}

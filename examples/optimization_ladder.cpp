@@ -1,0 +1,56 @@
+// The CUDA SDK reduction optimisation ladder through BlackForest's eyes.
+//
+// Runs reduce0 .. reduce6 and shows how the dominant bottleneck pattern
+// shifts as each optimisation removes the previous limiter — the
+// paper's §5 story (divergence -> bank conflicts -> idle threads ->
+// bandwidth) told end to end.
+//
+// Build & run:  ./build/examples/optimization_ladder
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "profiling/workloads.hpp"
+
+int main() {
+  using namespace bf;
+  std::printf("%-9s %-12s %-10s %-28s %s\n", "kernel", "time@2^22(ms)",
+              "speedup", "top counter", "dominant pattern");
+
+  double baseline = 0.0;
+  for (int variant = 0; variant <= 7; ++variant) {
+    core::PipelineConfig config;
+    config.workload = profiling::reduce_workload(variant);
+    config.arch = gpusim::gtx580();
+    config.sizes = profiling::log2_sizes(1 << 14, 1 << 22, 25, 256);
+    config.model.exclude = {"power_avg_w", "flop_sp_efficiency"};
+    config.model.forest.n_trees = 250;
+
+    const auto outcome = core::run_analysis(config);
+    const double t =
+        outcome.data.at(outcome.data.num_rows() - 1, "time_ms");
+    if (variant == 0) baseline = t;
+
+    const auto& findings = outcome.report.findings;
+    const char* pattern =
+        outcome.report.ranked_patterns.empty()
+            ? "-"
+            : core::pattern_name(outcome.report.ranked_patterns[0].first);
+    std::printf("%-9s %-12.4f %-10.2f %-28s %s\n",
+                config.workload.name.c_str(), t, baseline / t,
+                findings.empty() ? "-" : findings[0].counter.c_str(),
+                pattern);
+  }
+
+  std::printf("\nbank-conflict events along the ladder (2^22 elements):\n");
+  const gpusim::Device device(gpusim::gtx580());
+  profiling::Profiler profiler;
+  for (int variant = 0; variant <= 7; ++variant) {
+    const auto r = profiler.profile(
+        profiling::reduce_workload(variant), device, 1 << 22);
+    std::printf("  reduce%d: l1_shared_bank_conflict = %.0f, "
+                "divergent_branch = %.0f\n",
+                variant, r.counters.at("l1_shared_bank_conflict"),
+                r.counters.at("divergent_branch"));
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Quickstart: the paper's §5 walk-through in ~40 lines of user code.
+//
+// Profile a kernel (reduce1) over a problem-size sweep on a simulated
+// GTX580, build the random-forest performance model, and print the
+// bottleneck report with PCA refinement.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "profiling/workloads.hpp"
+
+int main() {
+  using namespace bf;
+
+  // 1. Describe the analysis: which kernel, which GPU, which sizes.
+  core::PipelineConfig config;
+  config.workload = profiling::reduce_workload(/*variant=*/1);
+  config.arch = gpusim::gtx580();
+  config.sizes = profiling::log2_sizes(1 << 14, 1 << 22, 40, 256);
+
+  // 2. Run the five-stage pipeline: collect -> model -> importance ->
+  //    PCA -> interpret.
+  const core::AnalysisOutcome outcome = core::run_analysis(config);
+
+  // 3. Read the results.
+  std::printf("collected %zu runs; forest explains %.1f%% of variance\n\n",
+              outcome.data.num_rows(),
+              outcome.model.pct_var_explained());
+
+  std::printf("most influential counters:\n");
+  const auto importance = outcome.model.importance();
+  for (std::size_t i = 0; i < importance.size() && i < 5; ++i) {
+    std::printf("  %-28s %%IncMSE %.2f\n", importance[i].name.c_str(),
+                importance[i].pct_inc_mse);
+  }
+
+  std::printf("\n%s", core::to_text(outcome.report).c_str());
+
+  std::printf("\nPCA refinement (%zu components, %.0f%% of variance):\n",
+              outcome.pca.components.size(),
+              100.0 * outcome.pca.variance_covered);
+  for (const auto& comp : outcome.pca.components) {
+    std::printf("  %s\n", comp.label.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,171 @@
+#include "common/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace bf {
+namespace {
+
+// Quote a field if it contains a comma, quote, or newline.
+void write_field(std::ostream& os, const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    os << field;
+    return;
+  }
+  os << '"';
+  for (char c : field) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+// Parse one CSV line (no embedded newlines) into fields.
+std::vector<std::string> parse_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      cur += c;
+    }
+  }
+  BF_CHECK_MSG(!in_quotes, "unterminated quote in CSV line: " << line);
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  BF_CHECK_MSG(!header_.empty(), "CSV header must be non-empty");
+}
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  BF_FAIL("CSV column not found: " << name);
+}
+
+bool CsvTable::has_column(const std::string& name) const {
+  for (const auto& h : header_) {
+    if (h == name) return true;
+  }
+  return false;
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  BF_CHECK_MSG(row.size() == header_.size(),
+               "row width " << row.size() << " != header width "
+                            << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+const std::vector<std::string>& CsvTable::row(std::size_t i) const {
+  BF_CHECK_MSG(i < rows_.size(), "row " << i << " out of range");
+  return rows_[i];
+}
+
+const std::string& CsvTable::cell(std::size_t row, std::size_t col) const {
+  BF_CHECK_MSG(row < rows_.size() && col < header_.size(),
+               "cell (" << row << "," << col << ") out of range");
+  return rows_[row][col];
+}
+
+const std::string& CsvTable::cell(std::size_t row,
+                                  const std::string& col) const {
+  return cell(row, column_index(col));
+}
+
+double CsvTable::cell_as_double(std::size_t row, std::size_t col) const {
+  const std::string& s = cell(row, col);
+  double v = 0.0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  BF_CHECK_MSG(ec == std::errc{} && ptr == end,
+               "cannot parse '" << s << "' as double");
+  return v;
+}
+
+double CsvTable::cell_as_double(std::size_t row,
+                                const std::string& col) const {
+  return cell_as_double(row, column_index(col));
+}
+
+std::vector<double> CsvTable::column_as_doubles(
+    const std::string& name) const {
+  const std::size_t c = column_index(name);
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out.push_back(cell_as_double(r, c));
+  }
+  return out;
+}
+
+void CsvTable::write(std::ostream& os) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i != 0) os << ',';
+    write_field(os, header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << ',';
+      write_field(os, row[i]);
+    }
+    os << '\n';
+  }
+}
+
+void CsvTable::save(const std::string& path) const {
+  std::ofstream os(path);
+  BF_CHECK_MSG(os.good(), "cannot open for writing: " << path);
+  write(os);
+  BF_CHECK_MSG(os.good(), "write failed: " << path);
+}
+
+CsvTable CsvTable::read(std::istream& is) {
+  std::string line;
+  BF_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
+               "CSV input is empty");
+  CsvTable table(parse_line(line));
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    table.add_row(parse_line(line));
+  }
+  return table;
+}
+
+CsvTable CsvTable::load(const std::string& path) {
+  std::ifstream is(path);
+  BF_CHECK_MSG(is.good(), "cannot open for reading: " << path);
+  return read(is);
+}
+
+}  // namespace bf

@@ -1,0 +1,54 @@
+// Minimal CSV table reader/writer.
+//
+// The profiler's run repository stores every profiled run as CSV, mirroring
+// the paper's "structured repository" of nvprof output. The format supported
+// here is deliberately simple: comma-separated, first row is the header,
+// double-quoted fields may contain commas and doubled quotes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bf {
+
+/// An in-memory CSV table: a header plus string rows of equal width.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Index of a column by name; throws bf::Error if absent.
+  std::size_t column_index(const std::string& name) const;
+  bool has_column(const std::string& name) const;
+
+  void add_row(std::vector<std::string> row);
+  const std::vector<std::string>& row(std::size_t i) const;
+  const std::string& cell(std::size_t row, std::size_t col) const;
+  const std::string& cell(std::size_t row, const std::string& col) const;
+
+  /// Parse a cell as double; throws on malformed content.
+  double cell_as_double(std::size_t row, std::size_t col) const;
+  double cell_as_double(std::size_t row, const std::string& col) const;
+
+  /// Entire column parsed as doubles.
+  std::vector<double> column_as_doubles(const std::string& name) const;
+
+  /// Serialise with proper quoting.
+  void write(std::ostream& os) const;
+  void save(const std::string& path) const;
+
+  /// Parse from a stream/file; throws bf::Error on ragged rows.
+  static CsvTable read(std::istream& is);
+  static CsvTable load(const std::string& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bf

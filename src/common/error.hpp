@@ -1,0 +1,61 @@
+// Error handling primitives for the BlackForest library.
+//
+// All precondition violations and unrecoverable runtime failures are
+// reported through bf::Error (a std::runtime_error) so callers can catch a
+// single exception type at API boundaries.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bf {
+
+/// Exception type thrown by every BlackForest component.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(const char* file, int line, const char* cond,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed";
+  if (cond != nullptr) os << " (" << cond << ")";
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace bf
+
+/// Verify a precondition; throws bf::Error with file/line context on failure.
+/// Always on (not compiled out in release builds): the library favours loud
+/// failure over silent corruption of statistical results.
+#define BF_CHECK(cond)                                              \
+  do {                                                              \
+    if (!(cond)) ::bf::detail::fail(__FILE__, __LINE__, #cond, ""); \
+  } while (false)
+
+/// Like BF_CHECK but with a streamable message:
+///   BF_CHECK_MSG(n > 0, "need samples, got " << n);
+#define BF_CHECK_MSG(cond, msg)                                \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      std::ostringstream bf_check_os_;                         \
+      bf_check_os_ << msg;                                     \
+      ::bf::detail::fail(__FILE__, __LINE__, #cond,            \
+                         bf_check_os_.str());                  \
+    }                                                          \
+  } while (false)
+
+/// Unconditional failure with message.
+#define BF_FAIL(msg)                                           \
+  do {                                                         \
+    std::ostringstream bf_fail_os_;                            \
+    bf_fail_os_ << msg;                                        \
+    ::bf::detail::fail(__FILE__, __LINE__, nullptr,            \
+                       bf_fail_os_.str());                     \
+  } while (false)

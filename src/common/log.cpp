@@ -1,0 +1,39 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace bf {
+namespace logging {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+}  // namespace
+
+LogLevel level() { return static_cast<LogLevel>(g_level.load()); }
+
+void set_level(LogLevel lvl) { g_level.store(static_cast<int>(lvl)); }
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void emit(LogLevel lvl, const std::string& msg) {
+  std::fprintf(stderr, "[bf %s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace logging
+}  // namespace bf

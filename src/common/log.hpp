@@ -1,0 +1,38 @@
+// Lightweight leveled logging to stderr.
+//
+// Benches and examples print their deliverable tables to stdout; diagnostic
+// chatter goes through BF_LOG so it can be silenced (set_level) without
+// polluting reproduction output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace logging {
+
+LogLevel level();
+void set_level(LogLevel level);
+void emit(LogLevel level, const std::string& msg);
+const char* level_name(LogLevel level);
+
+}  // namespace logging
+}  // namespace bf
+
+#define BF_LOG(lvl, msg)                                             \
+  do {                                                               \
+    if (static_cast<int>(lvl) >=                                     \
+        static_cast<int>(::bf::logging::level())) {                  \
+      std::ostringstream bf_log_os_;                                 \
+      bf_log_os_ << msg;                                             \
+      ::bf::logging::emit(lvl, bf_log_os_.str());                    \
+    }                                                                \
+  } while (false)
+
+#define BF_DEBUG(msg) BF_LOG(::bf::LogLevel::kDebug, msg)
+#define BF_INFO(msg) BF_LOG(::bf::LogLevel::kInfo, msg)
+#define BF_WARN(msg) BF_LOG(::bf::LogLevel::kWarn, msg)
+#define BF_ERROR(msg) BF_LOG(::bf::LogLevel::kError, msg)

@@ -1,0 +1,180 @@
+#include "core/bottleneck.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.hpp"
+#include "ml/metrics.hpp"
+#include "profiling/sweep.hpp"
+
+namespace bf::core {
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::kSharedBankConflicts: return "shared memory bank conflicts";
+    case Pattern::kUncoalescedAccess: return "uncoalesced global accesses";
+    case Pattern::kBranchDivergence: return "warp branch divergence";
+    case Pattern::kLowOccupancy: return "insufficient occupancy";
+    case Pattern::kMemoryBandwidth: return "memory bandwidth pressure";
+    case Pattern::kInstructionReplay: return "instruction replay overhead";
+    case Pattern::kComputeThroughput: return "instruction throughput";
+    case Pattern::kProblemScale: return "problem scale";
+    case Pattern::kUnclassified: return "unclassified";
+  }
+  return "?";
+}
+
+const char* pattern_remedy(Pattern p) {
+  switch (p) {
+    case Pattern::kSharedBankConflicts:
+      return "pad shared-memory arrays or re-index so consecutive lanes "
+             "touch distinct banks (e.g. tile[32][33])";
+    case Pattern::kUncoalescedAccess:
+      return "restructure accesses so a warp touches consecutive "
+             "addresses; stage irregular patterns through shared memory";
+    case Pattern::kBranchDivergence:
+      return "replace per-lane conditions with contiguous-range "
+             "conditions or predication; sort/partition work by branch "
+             "direction";
+    case Pattern::kLowOccupancy:
+      return "increase resident warps: larger blocks, fewer registers per "
+             "thread, less shared memory per block, or more blocks";
+    case Pattern::kMemoryBandwidth:
+      return "reduce DRAM traffic: exploit shared memory/L1 reuse, fuse "
+             "kernels, compress data, or process more elements per thread";
+    case Pattern::kInstructionReplay:
+      return "eliminate replay sources: bank conflicts and uncoalesced "
+             "transactions are the usual culprits";
+    case Pattern::kComputeThroughput:
+      return "reduce instruction count (cheaper operations, less index "
+             "arithmetic, loop unrolling) or raise ILP per thread";
+    case Pattern::kProblemScale:
+      return "performance tracks the problem size itself (expected; not a "
+             "defect)";
+    case Pattern::kUnclassified:
+      return "inspect this counter's partial dependence manually";
+  }
+  return "?";
+}
+
+Pattern classify_counter(const std::string& counter) {
+  static const std::map<std::string, Pattern> table = {
+      {"l1_shared_bank_conflict", Pattern::kSharedBankConflicts},
+      {"shared_replay_overhead", Pattern::kSharedBankConflicts},
+      {"shared_load_replay", Pattern::kSharedBankConflicts},
+      {"shared_store_replay", Pattern::kSharedBankConflicts},
+      {"shared_load", Pattern::kSharedBankConflicts},
+      {"shared_store", Pattern::kSharedBankConflicts},
+      {"l1_global_load_miss", Pattern::kUncoalescedAccess},
+      {"l1_global_load_hit", Pattern::kUncoalescedAccess},
+      {"gld_efficiency", Pattern::kUncoalescedAccess},
+      {"gst_efficiency", Pattern::kUncoalescedAccess},
+      {"divergent_branch", Pattern::kBranchDivergence},
+      {"branch", Pattern::kBranchDivergence},
+      {"warp_execution_efficiency", Pattern::kBranchDivergence},
+      {"achieved_occupancy", Pattern::kLowOccupancy},
+      {"issue_slot_utilization", Pattern::kLowOccupancy},
+      {"l2_read_transactions", Pattern::kMemoryBandwidth},
+      {"l2_write_transactions", Pattern::kMemoryBandwidth},
+      {"l2_read_throughput", Pattern::kMemoryBandwidth},
+      {"l2_write_throughput", Pattern::kMemoryBandwidth},
+      {"dram_read_transactions", Pattern::kMemoryBandwidth},
+      {"dram_write_transactions", Pattern::kMemoryBandwidth},
+      {"dram_read_throughput", Pattern::kMemoryBandwidth},
+      {"dram_write_throughput", Pattern::kMemoryBandwidth},
+      {"gld_request", Pattern::kMemoryBandwidth},
+      {"gst_request", Pattern::kMemoryBandwidth},
+      {"gld_requested_throughput", Pattern::kMemoryBandwidth},
+      {"gst_requested_throughput", Pattern::kMemoryBandwidth},
+      {"gld_throughput", Pattern::kMemoryBandwidth},
+      {"gst_throughput", Pattern::kMemoryBandwidth},
+      {"global_store_transaction", Pattern::kMemoryBandwidth},
+      {"inst_replay_overhead", Pattern::kInstructionReplay},
+      {"inst_executed", Pattern::kComputeThroughput},
+      {"inst_issued", Pattern::kComputeThroughput},
+      {"ipc", Pattern::kComputeThroughput},
+      {"flop_sp_efficiency", Pattern::kComputeThroughput},
+      {"size", Pattern::kProblemScale},
+  };
+  const auto it = table.find(counter);
+  return it == table.end() ? Pattern::kUnclassified : it->second;
+}
+
+namespace {
+
+double trend_of(const std::vector<ml::PartialDependencePoint>& curve) {
+  // Fraction of up-steps minus fraction of down-steps: +1 for a
+  // monotonically increasing partial dependence, -1 for decreasing.
+  if (curve.size() < 2) return 0.0;
+  int up = 0;
+  int down = 0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double d = curve[i].y - curve[i - 1].y;
+    if (d > 0) ++up;
+    if (d < 0) --down;  // negative count
+  }
+  return static_cast<double>(up + down) /
+         static_cast<double>(curve.size() - 1);
+}
+
+}  // namespace
+
+BottleneckReport analyze_bottlenecks(const BlackForestModel& model,
+                                     const std::string& workload,
+                                     const std::string& arch,
+                                     const BottleneckOptions& options) {
+  BottleneckReport report;
+  report.workload = workload;
+  report.arch = arch;
+  report.pct_var_explained = model.pct_var_explained();
+
+  const auto importance = model.importance();
+  const auto& y = model.train_data().column(profiling::kTimeColumn);
+  std::map<Pattern, double> pattern_mass;
+
+  for (std::size_t i = 0; i < importance.size() && i < options.top_k; ++i) {
+    const auto& imp = importance[i];
+    if (imp.pct_inc_mse <= 0.0) continue;  // noise variables
+    BottleneckFinding f;
+    f.counter = imp.name;
+    f.importance = imp.pct_inc_mse;
+    f.correlation =
+        ml::pearson(model.train_data().column(imp.name), y);
+    f.dependence_trend =
+        trend_of(model.partial_dependence(imp.name, options.pd_grid));
+    f.pattern = classify_counter(imp.name);
+    pattern_mass[f.pattern] += f.importance;
+    report.findings.push_back(std::move(f));
+  }
+
+  report.ranked_patterns.assign(pattern_mass.begin(), pattern_mass.end());
+  std::sort(report.ranked_patterns.begin(), report.ranked_patterns.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return report;
+}
+
+std::string to_text(const BottleneckReport& report) {
+  std::ostringstream os;
+  os << "Bottleneck report: " << report.workload << " on " << report.arch
+     << "\n";
+  os << "  model quality: " << format_double(report.pct_var_explained, 1)
+     << "% variance explained (OOB)\n";
+  os << "  influential counters:\n";
+  for (const auto& f : report.findings) {
+    os << "    " << f.counter << "  (%IncMSE " << format_double(f.importance, 2)
+       << ", corr " << format_double(f.correlation, 2) << ", trend "
+       << format_double(f.dependence_trend, 2) << ") -> "
+       << pattern_name(f.pattern) << "\n";
+  }
+  os << "  diagnosis:\n";
+  for (const auto& [pattern, mass] : report.ranked_patterns) {
+    if (pattern == Pattern::kProblemScale) continue;
+    os << "    [" << format_double(mass, 1) << "] " << pattern_name(pattern)
+       << ": " << pattern_remedy(pattern) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bf::core

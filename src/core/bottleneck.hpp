@@ -1,0 +1,71 @@
+// Systematic bottleneck detection (the paper's headline use case).
+//
+// Variable importance says *which* counters drive the execution time;
+// the partial-dependence direction says *how*; this module maps the
+// important counters onto the §3.2 performance patterns (bank conflicts,
+// uncoalesced access, divergence, occupancy, bandwidth, replays) and
+// attaches the textbook elimination strategy for each.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "ml/dataset.hpp"
+
+namespace bf::core {
+
+/// Known GPU performance patterns.
+enum class Pattern {
+  kSharedBankConflicts,
+  kUncoalescedAccess,
+  kBranchDivergence,
+  kLowOccupancy,
+  kMemoryBandwidth,
+  kInstructionReplay,
+  kComputeThroughput,
+  kProblemScale,
+  kUnclassified,
+};
+
+const char* pattern_name(Pattern p);
+/// The textbook elimination strategy for a pattern.
+const char* pattern_remedy(Pattern p);
+
+struct BottleneckFinding {
+  std::string counter;
+  double importance = 0.0;     ///< %IncMSE of the counter
+  double correlation = 0.0;    ///< Pearson correlation with the response
+  /// Trend of the partial-dependence curve in [-1, 1]: +1 = time rises
+  /// monotonically with the counter, -1 = falls.
+  double dependence_trend = 0.0;
+  Pattern pattern = Pattern::kUnclassified;
+};
+
+struct BottleneckReport {
+  std::string workload;
+  std::string arch;
+  double pct_var_explained = 0.0;
+  std::vector<BottleneckFinding> findings;  ///< importance-ordered
+  /// Patterns ranked by accumulated importance (the actual verdict).
+  std::vector<std::pair<Pattern, double>> ranked_patterns;
+};
+
+struct BottleneckOptions {
+  std::size_t top_k = 8;       ///< counters examined
+  std::size_t pd_grid = 15;    ///< partial-dependence resolution
+};
+
+/// Pattern classification of a single counter name.
+Pattern classify_counter(const std::string& counter);
+
+/// Analyse a fitted model against its training data.
+BottleneckReport analyze_bottlenecks(const BlackForestModel& model,
+                                     const std::string& workload,
+                                     const std::string& arch,
+                                     const BottleneckOptions& options = {});
+
+/// Render a human-readable report.
+std::string to_text(const BottleneckReport& report);
+
+}  // namespace bf::core

@@ -1,0 +1,174 @@
+#include "core/counter_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "ml/metrics.hpp"
+
+namespace bf::core {
+namespace {
+
+double log_input(double v) { return std::log2(std::max(0.0, v) + 1.0); }
+
+linalg::Matrix transform_inputs(const linalg::Matrix& x, bool log_inputs) {
+  if (!log_inputs) return x;
+  linalg::Matrix t(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      t(i, j) = log_input(x(i, j));
+    }
+  }
+  return t;
+}
+
+/// Decide whether a response should be modelled in log space.
+bool wants_log_response(const std::vector<double>& y) {
+  double lo = 1e300;
+  double hi = 0.0;
+  for (double v : y) {
+    if (v <= 0.0) return false;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return hi / lo > 100.0;
+}
+
+}  // namespace
+
+CounterModels CounterModels::fit(const ml::Dataset& ds,
+                                 const std::vector<std::string>& counters,
+                                 const CounterModelOptions& options) {
+  BF_CHECK_MSG(!counters.empty(), "no counters to model");
+  BF_CHECK_MSG(!options.inputs.empty(), "no input characteristics");
+  CounterModels out;
+  out.inputs_ = options.inputs;
+  out.log_inputs_ = options.log_inputs;
+
+  const linalg::Matrix raw_x = ds.to_matrix(options.inputs);
+  const linalg::Matrix x = transform_inputs(raw_x, options.log_inputs);
+
+  for (const auto& counter : counters) {
+    // The inputs themselves need no model; predict_features copies them.
+    if (std::find(options.inputs.begin(), options.inputs.end(), counter) !=
+        options.inputs.end()) {
+      continue;
+    }
+    const std::vector<double>& y_raw = ds.column(counter);
+
+    Entry entry;
+    entry.counter = counter;
+    entry.log_response = options.auto_log_response && wants_log_response(y_raw);
+    std::vector<double> y = y_raw;
+    if (entry.log_response) {
+      for (double& v : y) v = std::log2(v);
+    }
+
+    const bool want_glm = options.kind != CounterModelKind::kMars;
+    const bool want_mars = options.kind != CounterModelKind::kGlm;
+    if (want_glm) {
+      ml::GlmParams gp = options.glm;
+      if (options.log_inputs) gp.log_terms = false;  // already in log space
+      entry.glm.fit(x, y, gp);
+    }
+    if (want_mars) entry.mars.fit(x, y, options.mars);
+
+    // Score both candidates on the *original* counter scale so the choice
+    // (and the reported quality) reflects what the forest will consume.
+    const auto score = [&](CounterModelKind kind) {
+      std::vector<double> pred(y_raw.size());
+      for (std::size_t i = 0; i < y_raw.size(); ++i) {
+        Entry probe = entry;  // cheap: models are small
+        probe.kind = kind;
+        std::vector<double> row(raw_x.cols());
+        for (std::size_t j = 0; j < raw_x.cols(); ++j) row[j] = raw_x(i, j);
+        pred[i] = out.predict_entry(probe, row);
+      }
+      double rss = 0.0;
+      for (std::size_t i = 0; i < y_raw.size(); ++i) {
+        rss += (y_raw[i] - pred[i]) * (y_raw[i] - pred[i]);
+      }
+      return rss;
+    };
+    const double glm_rss = want_glm ? score(CounterModelKind::kGlm) : 1e300;
+    const double mars_rss =
+        want_mars ? score(CounterModelKind::kMars) : 1e300;
+    if (options.kind == CounterModelKind::kGlm) {
+      entry.kind = CounterModelKind::kGlm;
+    } else if (options.kind == CounterModelKind::kMars) {
+      entry.kind = CounterModelKind::kMars;
+    } else {
+      // Auto: prefer the simpler GLM unless MARS is clearly better.
+      entry.kind = (mars_rss < 0.95 * glm_rss) ? CounterModelKind::kMars
+                                               : CounterModelKind::kGlm;
+    }
+
+    CounterModelInfo info;
+    info.counter = counter;
+    info.chosen = entry.kind;
+    info.residual_deviance =
+        entry.kind == CounterModelKind::kGlm ? glm_rss : mars_rss;
+    double tss = 0.0;
+    const double ybar = ml::mean(y_raw);
+    for (const double v : y_raw) tss += (v - ybar) * (v - ybar);
+    info.r2 = tss > 0.0 ? 1.0 - info.residual_deviance / tss : 0.0;
+
+    out.entries_.push_back(std::move(entry));
+    out.info_.push_back(info);
+  }
+  return out;
+}
+
+double CounterModels::predict_entry(const Entry& entry,
+                                    const std::vector<double>& inputs) const {
+  std::vector<double> t = inputs;
+  if (log_inputs_) {
+    for (double& v : t) v = log_input(v);
+  }
+  double v;
+  if (entry.kind == CounterModelKind::kGlm) {
+    v = entry.glm.predict_row(t.data(), t.size());
+  } else {
+    v = entry.mars.predict_row(t.data(), t.size());
+  }
+  if (entry.log_response) v = std::exp2(std::clamp(v, -60.0, 60.0));
+  return v;
+}
+
+std::vector<std::pair<std::string, double>> CounterModels::predict(
+    const std::vector<double>& inputs) const {
+  BF_CHECK_MSG(inputs.size() == inputs_.size(),
+               "expected " << inputs_.size() << " input values");
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    out.emplace_back(entry.counter, predict_entry(entry, inputs));
+  }
+  return out;
+}
+
+ml::Dataset CounterModels::predict_features(
+    const std::vector<double>& sizes) const {
+  BF_CHECK_MSG(inputs_.size() == 1,
+               "predict_features requires a single-input model");
+  ml::Dataset ds;
+  ds.add_column(inputs_[0], sizes);
+  for (const auto& entry : entries_) {
+    std::vector<double> col;
+    col.reserve(sizes.size());
+    for (const double s : sizes) {
+      col.push_back(predict_entry(entry, {s}));
+    }
+    ds.add_column(entry.counter, std::move(col));
+  }
+  return ds;
+}
+
+double CounterModels::average_r2() const {
+  if (info_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& i : info_) acc += i.r2;
+  return acc / static_cast<double>(info_.size());
+}
+
+}  // namespace bf::core

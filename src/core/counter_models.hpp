@@ -1,0 +1,92 @@
+// Stage 5 (results interpretation / prediction): model each retained
+// counter as a function of the problem characteristics so that, for an
+// unseen problem size, the counter vector can be generated and fed to the
+// random forest (§4.2: "we can use the models to generate values for the
+// most influential variables from an unseen problem size for which the
+// execution time will be predicted by the random forest").
+//
+// Trivial counters get generalised linear models; gnarlier ones get MARS,
+// matching the paper's use of glm for MM and earth for NW.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/linear_model.hpp"
+#include "ml/mars.hpp"
+
+namespace bf::core {
+
+enum class CounterModelKind {
+  kGlm,
+  kMars,
+  /// Fit both, keep whichever has the better training R^2 (with a small
+  /// parsimony bonus for the GLM).
+  kAuto,
+};
+
+struct CounterModelOptions {
+  CounterModelKind kind = CounterModelKind::kAuto;
+  /// Input columns (problem and/or machine characteristics).
+  std::vector<std::string> inputs = {"size"};
+  /// Model in log2(input+1) space. GPU counters are power laws in the
+  /// problem size (O(n^2) data, O(n^3) work, ...), which become low-degree
+  /// polynomials in log space and extrapolate far more safely.
+  bool log_inputs = true;
+  /// Fit log2(response) when the counter is strictly positive and spans
+  /// more than two decades; predictions are mapped back with exp2. This
+  /// keeps wide-range count counters positive and accurate.
+  bool auto_log_response = true;
+  ml::GlmParams glm;
+  ml::MarsParams mars;
+};
+
+/// Quality record for one fitted counter model.
+struct CounterModelInfo {
+  std::string counter;
+  CounterModelKind chosen = CounterModelKind::kGlm;
+  double r2 = 0.0;
+  double residual_deviance = 0.0;  ///< GLM-style RSS on the response scale
+};
+
+class CounterModels {
+ public:
+  /// Fit one model per name in `counters` from the rows of `ds`.
+  static CounterModels fit(const ml::Dataset& ds,
+                           const std::vector<std::string>& counters,
+                           const CounterModelOptions& options = {});
+
+  /// Predict every modelled counter at the given input values (same order
+  /// as options.inputs); returns pairs (counter, value).
+  std::vector<std::pair<std::string, double>> predict(
+      const std::vector<double>& inputs) const;
+
+  /// Predict a full feature dataset over a vector of problem sizes
+  /// (single-input convenience; includes the input column itself).
+  ml::Dataset predict_features(const std::vector<double>& sizes) const;
+
+  const std::vector<CounterModelInfo>& info() const { return info_; }
+  const std::vector<std::string>& inputs() const { return inputs_; }
+  /// Mean training R^2 across counters (the paper quotes 0.99 for NW).
+  double average_r2() const;
+
+ private:
+  struct Entry {
+    std::string counter;
+    CounterModelKind kind = CounterModelKind::kGlm;
+    bool log_response = false;
+    ml::Glm glm;
+    ml::Mars mars;
+  };
+
+  double predict_entry(const Entry& entry,
+                       const std::vector<double>& inputs) const;
+
+  std::vector<std::string> inputs_;
+  bool log_inputs_ = true;
+  std::vector<Entry> entries_;
+  std::vector<CounterModelInfo> info_;
+};
+
+}  // namespace bf::core

@@ -1,0 +1,100 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "ml/metrics.hpp"
+#include "profiling/sweep.hpp"
+
+namespace bf::core {
+namespace {
+
+std::vector<std::string> predictor_columns(
+    const ml::Dataset& ds, const std::vector<std::string>& exclude) {
+  std::vector<std::string> out;
+  for (const auto& name : ds.column_names()) {
+    if (name == profiling::kTimeColumn) continue;
+    if (std::find(exclude.begin(), exclude.end(), name) != exclude.end()) {
+      continue;
+    }
+    out.push_back(name);
+  }
+  BF_CHECK_MSG(!out.empty(), "no predictor columns left");
+  return out;
+}
+
+}  // namespace
+
+BlackForestModel BlackForestModel::fit(const ml::Dataset& ds,
+                                       const ModelOptions& options) {
+  BF_CHECK_MSG(ds.has_column(profiling::kTimeColumn),
+               "dataset lacks the response column '"
+                   << profiling::kTimeColumn << "'");
+  BlackForestModel model;
+  model.options_ = options;
+
+  // Drop constant predictors up front: they carry no signal and distort
+  // permutation importance.
+  ml::Dataset clean = ds;
+  clean.drop_constant_columns();
+  BF_CHECK_MSG(clean.has_column(profiling::kTimeColumn),
+               "response column is constant — nothing to model");
+
+  Rng rng(options.seed);
+  ml::TrainTestSplit split =
+      ml::train_test_split(clean, options.test_fraction, rng);
+  model.train_ = std::move(split.train);
+  model.test_ = std::move(split.test);
+  model.predictors_ = predictor_columns(model.train_, options.exclude);
+
+  const linalg::Matrix x = model.train_.to_matrix(model.predictors_);
+  const std::vector<double>& y =
+      model.train_.column(profiling::kTimeColumn);
+  ml::ForestParams params = options.forest;
+  if (params.seed == ml::ForestParams{}.seed) params.seed = options.seed;
+  model.forest_.fit(x, y, model.predictors_, params);
+
+  if (model.test_.num_rows() > 0) {
+    const linalg::Matrix tx = model.test_.to_matrix(model.predictors_);
+    const std::vector<double> pred = model.forest_.predict(tx);
+    const std::vector<double>& truth =
+        model.test_.column(profiling::kTimeColumn);
+    model.test_mse_ = ml::mse(truth, pred);
+    model.test_explained_var_ = ml::explained_variance(truth, pred);
+  }
+  return model;
+}
+
+BlackForestModel BlackForestModel::refit_with(
+    const std::vector<std::string>& predictors) const {
+  BF_CHECK_MSG(!predictors.empty(), "refit needs at least one predictor");
+  BlackForestModel model;
+  model.options_ = options_;
+  model.train_ = train_;
+  model.test_ = test_;
+  model.predictors_ = predictors;
+
+  const linalg::Matrix x = model.train_.to_matrix(predictors);
+  const std::vector<double>& y =
+      model.train_.column(profiling::kTimeColumn);
+  ml::ForestParams params = options_.forest;
+  if (params.seed == ml::ForestParams{}.seed) params.seed = options_.seed;
+  model.forest_.fit(x, y, predictors, params);
+
+  if (model.test_.num_rows() > 0) {
+    const linalg::Matrix tx = model.test_.to_matrix(predictors);
+    const std::vector<double> pred = model.forest_.predict(tx);
+    const std::vector<double>& truth =
+        model.test_.column(profiling::kTimeColumn);
+    model.test_mse_ = ml::mse(truth, pred);
+    model.test_explained_var_ = ml::explained_variance(truth, pred);
+  }
+  return model;
+}
+
+std::vector<double> BlackForestModel::predict(const ml::Dataset& ds) const {
+  const linalg::Matrix x = ds.to_matrix(predictors_);
+  return forest_.predict(x);
+}
+
+}  // namespace bf::core

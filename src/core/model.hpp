@@ -1,0 +1,78 @@
+// Stage 2 + 3 of the BlackForest methodology (§4.2): random-forest
+// construction over a profiled sweep, validation on a held-out split, and
+// variable-importance analysis.
+//
+// The dataset convention follows bf::profiling::sweep: every column except
+// "time_ms" is a predictor (counters, the problem characteristic "size",
+// and — for hardware scaling — the Table 2 machine characteristics);
+// "time_ms" is the response.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/forest.hpp"
+
+namespace bf::core {
+
+struct ModelOptions {
+  /// Fraction of rows held out for validation (the paper's 80:20 split).
+  double test_fraction = 0.2;
+  ml::ForestParams forest;
+  /// Predictor columns to exclude (besides the response).
+  std::vector<std::string> exclude;
+  std::uint64_t seed = 7;
+};
+
+/// A fitted BlackForest response model with its validation statistics.
+class BlackForestModel {
+ public:
+  /// Split `ds` into train/test, fit the forest on the training part and
+  /// evaluate on the held-out part.
+  static BlackForestModel fit(const ml::Dataset& ds,
+                              const ModelOptions& options = {});
+
+  /// Refit using only the named predictors (stage 3's check that the top
+  /// few variables "retain most of the predictive power").
+  BlackForestModel refit_with(const std::vector<std::string>& predictors)
+      const;
+
+  const ml::RandomForest& forest() const { return forest_; }
+  const std::vector<std::string>& predictors() const { return predictors_; }
+  const ml::Dataset& train_data() const { return train_; }
+  const ml::Dataset& test_data() const { return test_; }
+
+  /// OOB % variance explained (randomForest's headline statistic).
+  double pct_var_explained() const { return forest_.pct_var_explained(); }
+  double oob_mse() const { return forest_.oob_mse(); }
+  /// Held-out MSE and explained variance.
+  double test_mse() const { return test_mse_; }
+  double test_explained_variance() const { return test_explained_var_; }
+
+  std::vector<ml::VariableImportance> importance() const {
+    return forest_.importance();
+  }
+  std::vector<std::string> top_variables(std::size_t k) const {
+    return forest_.top_variables(k);
+  }
+  std::vector<ml::PartialDependencePoint> partial_dependence(
+      const std::string& predictor, std::size_t grid = 25) const {
+    return forest_.partial_dependence(predictor, grid);
+  }
+
+  /// Predict times for rows of a dataset that contains (at least) the
+  /// model's predictor columns.
+  std::vector<double> predict(const ml::Dataset& ds) const;
+
+ private:
+  ml::RandomForest forest_;
+  std::vector<std::string> predictors_;
+  ml::Dataset train_;
+  ml::Dataset test_;
+  ModelOptions options_;
+  double test_mse_ = 0.0;
+  double test_explained_var_ = 0.0;
+};
+
+}  // namespace bf::core

@@ -1,0 +1,32 @@
+#include "core/pipeline.hpp"
+
+#include "common/error.hpp"
+#include "profiling/repository.hpp"
+
+namespace bf::core {
+
+AnalysisOutcome run_analysis(const PipelineConfig& config) {
+  BF_CHECK_MSG(!config.sizes.empty(), "no problem sizes configured");
+
+  const gpusim::Device device(config.arch);
+  AnalysisOutcome out;
+  if (config.repository_root) {
+    const profiling::RunRepository repo(*config.repository_root);
+    out.data = repo.get_or_collect(
+        config.workload.name, config.arch.name, [&] {
+          return profiling::sweep(config.workload, device, config.sizes,
+                                  config.sweep);
+        });
+  } else {
+    out.data =
+        profiling::sweep(config.workload, device, config.sizes, config.sweep);
+  }
+
+  out.model = BlackForestModel::fit(out.data, config.model);
+  out.pca = pca_refine(out.data, config.pca);
+  out.report = analyze_bottlenecks(out.model, config.workload.name,
+                                   config.arch.name, config.bottleneck);
+  return out;
+}
+
+}  // namespace bf::core

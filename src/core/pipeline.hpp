@@ -1,0 +1,42 @@
+// One-call front end over the five-stage methodology (Fig. 1 of the
+// paper): data collection -> random forest construction & validation ->
+// variable importance analysis -> PCA refinement -> interpretation
+// (bottleneck report / predictors).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bottleneck.hpp"
+#include "core/model.hpp"
+#include "core/pca_refine.hpp"
+#include "gpusim/arch.hpp"
+#include "profiling/profiler.hpp"
+#include "profiling/sweep.hpp"
+
+namespace bf::core {
+
+struct PipelineConfig {
+  profiling::Workload workload;
+  gpusim::ArchSpec arch;
+  std::vector<double> sizes;
+  profiling::SweepOptions sweep;
+  ModelOptions model;
+  PcaRefineOptions pca;
+  BottleneckOptions bottleneck;
+  /// Optional repository root: when set, sweeps are cached on disk.
+  std::optional<std::string> repository_root;
+};
+
+struct AnalysisOutcome {
+  ml::Dataset data;
+  BlackForestModel model;
+  PcaRefinement pca;
+  BottleneckReport report;
+};
+
+/// Run collection + modelling + importance + PCA + bottleneck analysis.
+AnalysisOutcome run_analysis(const PipelineConfig& config);
+
+}  // namespace bf::core

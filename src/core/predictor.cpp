@@ -1,0 +1,184 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "gpusim/arch.hpp"
+#include "ml/metrics.hpp"
+#include "profiling/sweep.hpp"
+
+namespace bf::core {
+namespace {
+
+PredictionSeries score_series(std::vector<double> sizes,
+                              std::vector<double> measured,
+                              std::vector<double> predicted) {
+  PredictionSeries s;
+  s.sizes = std::move(sizes);
+  s.measured_ms = std::move(measured);
+  s.predicted_ms = std::move(predicted);
+  s.mse = ml::mse(s.measured_ms, s.predicted_ms);
+  s.explained_variance = ml::explained_variance(s.measured_ms, s.predicted_ms);
+  s.median_abs_pct_error =
+      ml::median_abs_pct_error(s.measured_ms, s.predicted_ms);
+  return s;
+}
+
+std::vector<std::string> common_columns(const ml::Dataset& a,
+                                        const ml::Dataset& b) {
+  std::vector<std::string> out;
+  for (const auto& name : a.column_names()) {
+    if (b.has_column(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- Problem scaling ----
+
+ProblemScalingPredictor ProblemScalingPredictor::build(
+    const ml::Dataset& sweep, const ProblemScalingOptions& options) {
+  ProblemScalingPredictor p;
+  p.full_ = BlackForestModel::fit(sweep, options.model);
+
+  // Retain the top-k variables; "size" rides along so the counter models
+  // and the forest agree on the input space.
+  p.retained_ = p.full_.top_variables(options.top_k);
+  if (std::find(p.retained_.begin(), p.retained_.end(),
+                profiling::kSizeColumn) == p.retained_.end() &&
+      p.full_.train_data().has_column(profiling::kSizeColumn)) {
+    p.retained_.push_back(profiling::kSizeColumn);
+  }
+  p.reduced_ = p.full_.refit_with(p.retained_);
+
+  CounterModelOptions cm = options.counter_models;
+  cm.inputs = {profiling::kSizeColumn};
+  p.counters_ = CounterModels::fit(p.full_.train_data(), p.retained_, cm);
+  return p;
+}
+
+double ProblemScalingPredictor::predict_time(double size) const {
+  // Generate the retained counters at this size, then query the forest.
+  ml::Dataset features = counters_.predict_features({size});
+  return reduced_.predict(features)[0];
+}
+
+PredictionSeries ProblemScalingPredictor::validate(
+    const std::vector<double>& sizes,
+    const std::vector<double>& measured_ms) const {
+  BF_CHECK_MSG(sizes.size() == measured_ms.size(),
+               "sizes/measured length mismatch");
+  std::vector<double> predicted;
+  predicted.reserve(sizes.size());
+  for (const double s : sizes) predicted.push_back(predict_time(s));
+  return score_series(sizes, measured_ms, std::move(predicted));
+}
+
+// ---- Hardware scaling ----
+
+double HardwareScalingPredictor::importance_similarity(
+    const BlackForestModel& a, const BlackForestModel& b, std::size_t k) {
+  // Rank-tolerant overlap: a top-k variable of the source still counts as
+  // shared if it appears anywhere in the target's top-2k. Collinear
+  // counters shuffle arbitrarily within the leading pack (Strobl et al.,
+  // which the paper cites), so exact-position comparison would be noise.
+  const auto ta = a.top_variables(k);
+  const auto tb = b.top_variables(2 * k);
+  std::size_t overlap = 0;
+  for (const auto& name : ta) {
+    if (std::find(tb.begin(), tb.end(), name) != tb.end()) ++overlap;
+  }
+  return k == 0 ? 0.0
+                : static_cast<double>(overlap) / static_cast<double>(k);
+}
+
+HardwareScalingResult HardwareScalingPredictor::predict(
+    const ml::Dataset& source, const ml::Dataset& target,
+    const HardwareScalingOptions& options) {
+  HardwareScalingResult out;
+
+  // Per-architecture models to compare importance rankings (Fig. 8a/8b).
+  ModelOptions per_arch = options.model;
+  const BlackForestModel src_model = BlackForestModel::fit(source, per_arch);
+  const BlackForestModel tgt_model = BlackForestModel::fit(target, per_arch);
+  out.source_top = src_model.top_variables(options.top_k);
+  out.target_top = tgt_model.top_variables(options.top_k);
+  out.similarity =
+      importance_similarity(src_model, tgt_model, options.top_k);
+  out.used_mixed_variables = out.similarity < options.similarity_threshold;
+
+  // Columns usable across the two generations.
+  const std::vector<std::string> common = common_columns(source, target);
+  BF_CHECK_MSG(std::find(common.begin(), common.end(),
+                         profiling::kTimeColumn) != common.end(),
+               "datasets lack a common response column");
+
+  // Machine characteristics + problem size always participate.
+  std::vector<std::string> machine_cols;
+  for (const auto& [name, _] :
+       gpusim::machine_characteristics(gpusim::arch_registry().front())) {
+    if (std::find(common.begin(), common.end(), name) != common.end()) {
+      machine_cols.push_back(name);
+    }
+  }
+  BF_CHECK_MSG(!machine_cols.empty(),
+               "hardware scaling needs machine-characteristic columns; "
+               "collect sweeps with machine_characteristics = true");
+
+  std::vector<std::string> vars;
+  if (out.used_mixed_variables) {
+    // The paper's workaround: a mixture of important variables from both
+    // architectures, restricted to counters both GPUs expose.
+    for (const auto& list : {out.source_top, out.target_top}) {
+      for (const auto& name : list) {
+        const bool in_common =
+            std::find(common.begin(), common.end(), name) != common.end();
+        if (in_common &&
+            std::find(vars.begin(), vars.end(), name) == vars.end()) {
+          vars.push_back(name);
+        }
+      }
+    }
+  } else {
+    for (const auto& name : common) {
+      if (name == profiling::kTimeColumn) continue;
+      const bool is_machine =
+          std::find(machine_cols.begin(), machine_cols.end(), name) !=
+          machine_cols.end();
+      if (!is_machine) vars.push_back(name);
+    }
+  }
+  if (std::find(vars.begin(), vars.end(), profiling::kSizeColumn) ==
+          vars.end() &&
+      std::find(common.begin(), common.end(), profiling::kSizeColumn) !=
+          common.end()) {
+    vars.push_back(profiling::kSizeColumn);
+  }
+
+  std::vector<std::string> train_cols = vars;
+  for (const auto& m : machine_cols) train_cols.push_back(m);
+  train_cols.push_back(profiling::kTimeColumn);
+
+  // Calibration/test split of the target sweep; training set = all source
+  // rows + the target calibration rows.
+  Rng rng(options.seed);
+  const ml::TrainTestSplit split = ml::train_test_split(
+      target.select_columns(train_cols), 1.0 - options.calibration_fraction,
+      rng);
+  const ml::Dataset train = ml::Dataset::concat(
+      source.select_columns(train_cols), split.train);
+
+  ModelOptions fit_options = options.model;
+  fit_options.test_fraction = 0.0;
+  BlackForestModel model = BlackForestModel::fit(train, fit_options);
+  out.variables = model.predictors();
+
+  const std::vector<double> predicted = model.predict(split.test);
+  out.series = score_series(split.test.column(profiling::kSizeColumn),
+                            split.test.column(profiling::kTimeColumn),
+                            predicted);
+  return out;
+}
+
+}  // namespace bf::core

@@ -1,0 +1,122 @@
+// Problem-scaling and hardware-scaling predictors (paper §6).
+//
+// Problem scaling: retain the forest's top-k variables, validate that the
+// reduced forest keeps the full forest's predictive power, model the
+// retained counters in terms of the problem size (GLM/MARS), and predict
+// execution times for unseen sizes by feeding modelled counter values into
+// the reduced forest.
+//
+// Hardware scaling: inject the Table 2 machine characteristics into the
+// training data of the source GPU, add a calibration subset from the
+// target GPU, and predict the target's test rows. When the importance
+// rankings of the two architectures diverge (the paper's NW case), the
+// predictor falls back to the paper's workaround: train on the union of
+// the top variables of *both* architectures, restricted to counters that
+// exist on both.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/counter_models.hpp"
+#include "core/model.hpp"
+#include "ml/dataset.hpp"
+
+namespace bf::core {
+
+struct PredictionSeries {
+  std::vector<double> sizes;
+  std::vector<double> measured_ms;
+  std::vector<double> predicted_ms;
+  double mse = 0.0;
+  double explained_variance = 0.0;  ///< 1 - mse / var(measured)
+  double median_abs_pct_error = 0.0;
+};
+
+// ---- Problem scaling ----
+
+struct ProblemScalingOptions {
+  std::size_t top_k = 6;  ///< retained variables (paper: "between 6 and 8")
+  ModelOptions model;
+  CounterModelOptions counter_models;
+
+  ProblemScalingOptions() {
+    // Problem-scaling sweeps are small (tens of rows) with responses
+    // spanning decades; finer leaves let the forest resolve individual
+    // problem sizes instead of averaging across them.
+    model.forest.min_node_size = 2;
+  }
+};
+
+class ProblemScalingPredictor {
+ public:
+  /// Build from a single-architecture sweep dataset.
+  static ProblemScalingPredictor build(const ml::Dataset& sweep,
+                                       const ProblemScalingOptions& options =
+                                           {});
+
+  /// Predict the execution time for one unseen problem size.
+  double predict_time(double size) const;
+
+  /// Predict a series and score it against measured times.
+  PredictionSeries validate(const std::vector<double>& sizes,
+                            const std::vector<double>& measured_ms) const;
+
+  /// The full-variable model (for comparison) and the reduced model.
+  const BlackForestModel& full_model() const { return full_; }
+  const BlackForestModel& reduced_model() const { return reduced_; }
+  const CounterModels& counter_models() const { return counters_; }
+  const std::vector<std::string>& retained() const { return retained_; }
+
+ private:
+  BlackForestModel full_;
+  BlackForestModel reduced_;
+  CounterModels counters_;
+  std::vector<std::string> retained_;
+};
+
+// ---- Hardware scaling ----
+
+struct HardwareScalingOptions {
+  std::size_t top_k = 6;
+  /// Fraction of the target-GPU sweep used for calibration (the paper
+  /// calibrates on the target and tests on the rest).
+  double calibration_fraction = 0.8;
+  /// Spearman-style rank-overlap threshold below which the mixed-variable
+  /// workaround is applied automatically.
+  double similarity_threshold = 0.5;
+  ModelOptions model;
+  std::uint64_t seed = 99;
+
+  HardwareScalingOptions() {
+    model.forest.min_node_size = 2;  // see ProblemScalingOptions
+  }
+};
+
+struct HardwareScalingResult {
+  PredictionSeries series;     ///< predictions on the target test split
+  double similarity = 0.0;     ///< importance-ranking overlap in [0,1]
+  bool used_mixed_variables = false;
+  std::vector<std::string> variables;  ///< predictor set actually used
+  /// Top variables on source and target (for Fig. 8a/8b style reports).
+  std::vector<std::string> source_top;
+  std::vector<std::string> target_top;
+};
+
+class HardwareScalingPredictor {
+ public:
+  /// `source` and `target` are sweeps of the same workload over the same
+  /// sizes on two GPUs, collected with machine characteristics injected.
+  static HardwareScalingResult predict(const ml::Dataset& source,
+                                       const ml::Dataset& target,
+                                       const HardwareScalingOptions& options =
+                                           {});
+
+  /// Overlap of the top-k importance rankings of two fitted models,
+  /// in [0,1] (the paper's "sufficiently similar hardware" test).
+  static double importance_similarity(const BlackForestModel& a,
+                                      const BlackForestModel& b,
+                                      std::size_t k);
+};
+
+}  // namespace bf::core

@@ -1,0 +1,46 @@
+#include "cpusim/cpu_arch.hpp"
+
+namespace bf::cpusim {
+
+CpuSpec xeon_e5_2620() {
+  CpuSpec s;
+  s.name = "xeon_e5_2620";
+  s.cores = 6;
+  s.clock_ghz = 2.0;
+  s.issue_width = 4;
+  s.simd_width = 8;  // AVX
+  s.l1d_size_kb = 32;
+  s.l2_size_kb = 256;
+  s.llc_size_kb = 15 * 1024;
+  s.mem_bandwidth_gbs = 42.6;
+  return s;
+}
+
+CpuSpec core_i7_4770k() {
+  CpuSpec s;
+  s.name = "i7_4770k";
+  s.cores = 4;
+  s.clock_ghz = 3.5;
+  s.issue_width = 4;
+  s.simd_width = 8;  // AVX2
+  s.l1d_size_kb = 32;
+  s.l2_size_kb = 256;
+  s.llc_size_kb = 8 * 1024;
+  s.llc_latency = 36;
+  s.mem_bandwidth_gbs = 25.6;
+  s.mlp = 10;
+  return s;
+}
+
+std::vector<std::pair<std::string, double>> cpu_machine_characteristics(
+    const CpuSpec& spec) {
+  return {
+      {"cores", static_cast<double>(spec.cores)},
+      {"freq", spec.clock_ghz},
+      {"simd_width", static_cast<double>(spec.simd_width)},
+      {"llc_kb", static_cast<double>(spec.llc_size_kb)},
+      {"mbw", spec.mem_bandwidth_gbs},
+  };
+}
+
+}  // namespace bf::cpusim

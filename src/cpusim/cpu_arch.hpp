@@ -1,0 +1,62 @@
+// CPU architecture descriptions for the §7 heterogeneous extension.
+//
+// The paper closes with: "we believe our approach is very useful in the
+// context of emerging CPU+GPUs heterogeneous systems … As BF is equally
+// applicable for all processing units in the platform, we can provide a
+// unified modeling approach … We plan to empirically validate this
+// assumption, by first proving BF's usability on CPUs." This module
+// supplies the CPU substrate for that validation: a multicore model with
+// a three-level cache hierarchy and perf-style hardware counters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bf::cpusim {
+
+struct CpuSpec {
+  std::string name;
+
+  int cores = 6;
+  double clock_ghz = 2.0;
+  /// Superscalar issue width (instructions per cycle per core).
+  int issue_width = 4;
+  /// SIMD lanes in single precision (8 = AVX/AVX2).
+  int simd_width = 8;
+
+  // Per-core private caches.
+  int l1d_size_kb = 32;
+  int l1_line_bytes = 64;
+  int l1_assoc = 8;
+  int l1_latency = 4;
+  int l2_size_kb = 256;
+  int l2_assoc = 8;
+  int l2_latency = 12;
+  // Shared last-level cache (modelled as per-core slices).
+  int llc_size_kb = 15 * 1024;
+  int llc_assoc = 16;
+  int llc_latency = 40;
+
+  int dram_latency = 200;
+  double mem_bandwidth_gbs = 42.6;
+
+  /// Outstanding misses a core can overlap (memory-level parallelism).
+  int mlp = 8;
+  /// Branch misprediction penalty in cycles.
+  int branch_miss_penalty = 15;
+
+  int llc_slice_bytes() const {
+    return llc_size_kb * 1024 / (cores > 0 ? cores : 1);
+  }
+};
+
+/// Sandy-Bridge-class server part (Xeon E5-2620).
+CpuSpec xeon_e5_2620();
+/// Haswell-class desktop part (Core i7-4770K).
+CpuSpec core_i7_4770k();
+
+/// Machine characteristics injected for heterogeneous/hardware scaling.
+std::vector<std::pair<std::string, double>> cpu_machine_characteristics(
+    const CpuSpec& spec);
+
+}  // namespace bf::cpusim

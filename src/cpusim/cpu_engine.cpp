@@ -1,0 +1,219 @@
+#include "cpusim/cpu_engine.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/error.hpp"
+#include "gpusim/cache.hpp"
+
+namespace bf::cpusim {
+namespace {
+
+/// Per-core accumulation while replaying one core's chunks.
+struct CoreState {
+  gpusim::Cache l1;
+  gpusim::Cache l2;
+  gpusim::Cache llc;
+
+  double instructions = 0;
+  double simd_ops = 0;
+  double l1d_loads = 0;
+  double l1d_misses = 0;
+  double l2_misses = 0;
+  double llc_misses = 0;
+  double branches = 0;
+  double branch_misses = 0;
+  double dram_read_bytes = 0;
+  double dram_write_bytes = 0;
+  double issue_cycles = 0;
+  double stall_cycles = 0;
+
+  /// Hardware stream-prefetcher state: recent miss streams (line
+  /// addresses). A miss adjacent to a tracked stream is considered
+  /// prefetched — it still consumes DRAM bandwidth but hides its latency.
+  std::array<std::uint64_t, 8> stream_heads{};
+  std::size_t stream_next = 0;
+
+  explicit CoreState(const CpuSpec& s)
+      : l1(static_cast<std::int64_t>(s.l1d_size_kb) * 1024, s.l1_line_bytes,
+           s.l1_assoc),
+        l2(static_cast<std::int64_t>(s.l2_size_kb) * 1024, s.l1_line_bytes,
+           s.l2_assoc),
+        llc(s.llc_slice_bytes(), s.l1_line_bytes, s.llc_assoc) {
+    stream_heads.fill(~0ull);
+  }
+
+  /// True (and the stream advances) when `line` continues a tracked
+  /// sequential stream; otherwise the line seeds a new stream.
+  bool prefetch_hit(std::uint64_t line) {
+    for (auto& head : stream_heads) {
+      if (line >= head && line <= head + 2) {
+        head = line + 1;
+        return true;
+      }
+    }
+    stream_heads[stream_next] = line + 1;
+    stream_next = (stream_next + 1) % stream_heads.size();
+    return false;
+  }
+
+  double cycles() const { return issue_cycles + stall_cycles; }
+};
+
+void replay(const CpuSpec& spec, const CpuTrace& trace, CoreState& core) {
+  const double issue_cost = 1.0 / spec.issue_width;
+  // Average overlap of outstanding misses: dependent streams rarely reach
+  // the full MLP; halfway is the classic approximation.
+  const double overlap = std::max(1.0, spec.mlp / 2.0);
+
+  for (const CInstr& in : trace) {
+    core.instructions += 1;
+    core.issue_cycles += issue_cost;
+    switch (in.op) {
+      case COp::kScalar:
+        break;
+      case COp::kSimd:
+        core.simd_ops += 1;
+        break;
+      case COp::kBranch:
+        core.branches += 1;
+        if (in.mispredict) {
+          core.branch_misses += 1;
+          core.stall_cycles += spec.branch_miss_penalty;
+        }
+        break;
+      case COp::kLoad:
+      case COp::kStore: {
+        const bool is_load = in.op == COp::kLoad;
+        if (is_load) core.l1d_loads += 1;
+        const bool write = !is_load;
+        const auto l1r = core.l1.access(in.addr, write);
+        if (l1r.hit) break;
+        if (is_load) core.l1d_misses += 1;
+        const auto l2r = core.l2.access(in.addr, write);
+        if (l2r.hit) {
+          core.stall_cycles +=
+              (spec.l2_latency - spec.l1_latency) / overlap;
+          break;
+        }
+        core.l2_misses += 1;
+        const auto llcr = core.llc.access(in.addr, write);
+        if (llcr.writeback) {
+          core.dram_write_bytes += spec.l1_line_bytes;
+        }
+        if (llcr.hit) {
+          core.stall_cycles +=
+              (spec.llc_latency - spec.l1_latency) / overlap;
+          break;
+        }
+        core.llc_misses += 1;
+        core.dram_read_bytes += spec.l1_line_bytes;
+        // A sequential miss is covered by the hardware prefetcher: the
+        // bandwidth is still spent, the latency mostly is not.
+        const std::uint64_t line =
+            in.addr / static_cast<std::uint64_t>(spec.l1_line_bytes);
+        if (core.prefetch_hit(line)) {
+          core.stall_cycles +=
+              (spec.l2_latency - spec.l1_latency) / overlap;
+        } else {
+          core.stall_cycles +=
+              (spec.dram_latency - spec.l1_latency) / overlap;
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CpuRunResult CpuDevice::run(const CpuKernel& kernel,
+                            const CpuRunOptions& opts) const {
+  const std::int64_t total = kernel.num_chunks();
+  BF_CHECK_MSG(total >= 1, "kernel has no work chunks");
+
+  // Sample chunks evenly, rounded to a whole number per core.
+  std::int64_t want = total;
+  if (opts.max_sampled_chunks > 0 && total > opts.max_sampled_chunks) {
+    const std::int64_t per_core =
+        std::max<std::int64_t>(2, opts.max_sampled_chunks / spec_.cores);
+    want = std::min(total, per_core * spec_.cores);
+  }
+
+  std::vector<CoreState> cores;
+  cores.reserve(static_cast<std::size_t>(spec_.cores));
+  for (int c = 0; c < spec_.cores; ++c) cores.emplace_back(spec_);
+
+  CpuTrace trace;
+  for (std::int64_t i = 0; i < want; ++i) {
+    const std::int64_t chunk = i * total / want;
+    trace.clear();
+    CpuTraceSink sink(trace);
+    kernel.emit_chunk(chunk, sink);
+    replay(spec_, trace,
+           cores[static_cast<std::size_t>(i %
+                                          static_cast<std::int64_t>(
+                                              spec_.cores))]);
+  }
+
+  const double scale =
+      static_cast<double>(total) / static_cast<double>(want);
+
+  CpuRunResult out;
+  out.chunks_total = total;
+  out.chunks_simulated = want;
+
+  double max_cycles = 0;
+  CoreState sum(spec_);
+  for (const auto& core : cores) {
+    max_cycles = std::max(max_cycles, core.cycles());
+    sum.instructions += core.instructions;
+    sum.simd_ops += core.simd_ops;
+    sum.l1d_loads += core.l1d_loads;
+    sum.l1d_misses += core.l1d_misses;
+    sum.l2_misses += core.l2_misses;
+    sum.llc_misses += core.llc_misses;
+    sum.branches += core.branches;
+    sum.branch_misses += core.branch_misses;
+    sum.dram_read_bytes += core.dram_read_bytes;
+    sum.dram_write_bytes += core.dram_write_bytes;
+    sum.issue_cycles += core.issue_cycles;
+    sum.stall_cycles += core.stall_cycles;
+  }
+
+  const double latency_time_s =
+      max_cycles * scale / (spec_.clock_ghz * 1e9);
+  const double dram_bytes =
+      (sum.dram_read_bytes + sum.dram_write_bytes) * scale;
+  const double bw_time_s = dram_bytes / (spec_.mem_bandwidth_gbs * 1e9);
+  double time_s = latency_time_s;
+  if (bw_time_s > time_s) {
+    time_s = bw_time_s;
+    out.bandwidth_bound = true;
+  }
+  BF_CHECK_MSG(time_s > 0.0, "kernel executed no timed work");
+  out.time_ms = time_s * 1e3;
+
+  auto& m = out.counters;
+  m["instructions"] = sum.instructions * scale;
+  m["simd_ops"] = sum.simd_ops * scale;
+  m["l1d_loads"] = sum.l1d_loads * scale;
+  m["l1d_load_misses"] = sum.l1d_misses * scale;
+  m["l2_misses"] = sum.l2_misses * scale;
+  m["llc_misses"] = sum.llc_misses * scale;
+  m["branches"] = sum.branches * scale;
+  m["branch_misses"] = sum.branch_misses * scale;
+  m["dram_read_bytes"] = sum.dram_read_bytes * scale;
+  m["dram_write_bytes"] = sum.dram_write_bytes * scale;
+  m["stall_cycles"] = sum.stall_cycles * scale;
+  const double chip_cycles = time_s * spec_.clock_ghz * 1e9;
+  m["cpu_cycles"] = chip_cycles;
+  m["ipc"] = chip_cycles > 0
+                 ? sum.instructions * scale / (chip_cycles * spec_.cores)
+                 : 0.0;
+  m["mem_bw_utilization"] =
+      dram_bytes / std::max(time_s, 1e-12) / (spec_.mem_bandwidth_gbs * 1e9);
+  return out;
+}
+
+}  // namespace bf::cpusim

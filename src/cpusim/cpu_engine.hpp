@@ -1,0 +1,116 @@
+// CPU trace representation and timing engine.
+//
+// Mirrors the GPU side at a coarser grain: a kernel partitions its work
+// into chunks (parallel loop blocks); each chunk emits a stream of
+// micro-ops (scalar/SIMD arithmetic, loads, stores, branches with
+// mispredict flags). Chunks are scheduled round-robin over cores; each
+// core runs an issue-width-limited pipeline with a private L1/L2, a slice
+// of the shared LLC (reusing the gpusim cache model), MLP-overlapped miss
+// latency and a branch-miss penalty. A DRAM bandwidth roofline caps the
+// whole chip, exactly as on the GPU side. Large problems are handled by
+// chunk sampling with counter extrapolation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cpusim/cpu_arch.hpp"
+
+namespace bf::cpusim {
+
+enum class COp : std::uint8_t {
+  kScalar,  ///< scalar ALU/FPU op
+  kSimd,    ///< one SIMD op over simd_width lanes
+  kLoad,
+  kStore,
+  kBranch,
+};
+
+struct CInstr {
+  COp op = COp::kScalar;
+  std::uint64_t addr = 0;   ///< for loads/stores
+  std::uint8_t bytes = 4;   ///< access width for loads/stores
+  bool mispredict = false;  ///< for branches
+};
+
+using CpuTrace = std::vector<CInstr>;
+
+/// Builder through which CPU kernels emit a chunk's micro-ops.
+class CpuTraceSink {
+ public:
+  explicit CpuTraceSink(CpuTrace& out) : out_(out) {}
+
+  void scalar(int count = 1) { push(COp::kScalar, count); }
+  void simd(int count = 1) { push(COp::kSimd, count); }
+  void load(std::uint64_t addr, std::uint8_t bytes = 4) {
+    CInstr in;
+    in.op = COp::kLoad;
+    in.addr = addr;
+    in.bytes = bytes;
+    out_.push_back(in);
+  }
+  void store(std::uint64_t addr, std::uint8_t bytes = 4) {
+    CInstr in;
+    in.op = COp::kStore;
+    in.addr = addr;
+    in.bytes = bytes;
+    out_.push_back(in);
+  }
+  void branch(bool mispredict = false) {
+    CInstr in;
+    in.op = COp::kBranch;
+    in.mispredict = mispredict;
+    out_.push_back(in);
+  }
+
+ private:
+  void push(COp op, int count) {
+    CInstr in;
+    in.op = op;
+    for (int i = 0; i < count; ++i) out_.push_back(in);
+  }
+
+  CpuTrace& out_;
+};
+
+/// The interface CPU kernels implement.
+class CpuKernel {
+ public:
+  virtual ~CpuKernel() = default;
+  virtual std::string name() const = 0;
+  /// Number of independent work chunks (parallel loop blocks).
+  virtual std::int64_t num_chunks() const = 0;
+  virtual void emit_chunk(std::int64_t chunk, CpuTraceSink& sink) const = 0;
+};
+
+struct CpuRunOptions {
+  /// Upper bound on simulated chunks (0 = all).
+  std::int64_t max_sampled_chunks = 256;
+};
+
+struct CpuRunResult {
+  /// perf-style counters: instructions, cpu_cycles, ipc, l1d_loads,
+  /// l1d_load_misses, l2_misses, llc_misses, dram_read_bytes,
+  /// dram_write_bytes, branches, branch_misses, simd_ops, stall_cycles.
+  std::map<std::string, double> counters;
+  double time_ms = 0.0;
+  std::int64_t chunks_total = 0;
+  std::int64_t chunks_simulated = 0;
+  bool bandwidth_bound = false;
+};
+
+class CpuDevice {
+ public:
+  explicit CpuDevice(CpuSpec spec) : spec_(std::move(spec)) {}
+  const CpuSpec& spec() const { return spec_; }
+
+  CpuRunResult run(const CpuKernel& kernel,
+                   const CpuRunOptions& opts = {}) const;
+
+ private:
+  CpuSpec spec_;
+};
+
+}  // namespace bf::cpusim

@@ -1,0 +1,116 @@
+#include "gpusim/arch.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bf::gpusim {
+
+int ArchSpec::arith_issue_cycles() const {
+  const int cores_per_sched =
+      std::max(1, cores_per_sm / std::max(1, warp_schedulers_per_sm));
+  return std::max(1, warp_size / cores_per_sched);
+}
+
+int ArchSpec::l2_slice_bytes() const {
+  return l2_size_kb * 1024 / std::max(1, sm_count);
+}
+
+ArchSpec gtx580() {
+  ArchSpec a;
+  a.name = "gtx580";
+  a.generation = Generation::kFermi;
+  a.warp_schedulers_per_sm = 2;
+  a.clock_ghz = 1.544;  // shader clock of the GTX580
+  a.sm_count = 16;
+  a.cores_per_sm = 32;
+  a.mem_bandwidth_gbs = 192.4;
+  a.max_registers_per_thread = 63;
+  a.l2_size_kb = 768;
+  a.dispatch_units_per_scheduler = 1;
+  a.max_warps_per_sm = 48;
+  a.max_blocks_per_sm = 8;
+  a.registers_per_sm = 32 * 1024;
+  a.shared_mem_per_sm_bytes = 48 * 1024;
+  a.l1_size_kb = 16;
+  a.l1_caches_global_loads = true;
+  a.alu_dep_latency = 18;
+  a.l2_latency = 190;
+  a.dram_latency = 440;
+  return a;
+}
+
+ArchSpec gtx480() {
+  // The GTX480 column of the paper's Table 2.
+  ArchSpec a = gtx580();
+  a.name = "gtx480";
+  a.clock_ghz = 1.4;
+  a.sm_count = 15;
+  a.mem_bandwidth_gbs = 177.4;
+  return a;
+}
+
+ArchSpec kepler_k20m() {
+  ArchSpec a;
+  a.name = "k20m";
+  a.generation = Generation::kKepler;
+  a.warp_schedulers_per_sm = 4;
+  a.clock_ghz = 0.706;
+  a.sm_count = 13;
+  a.cores_per_sm = 192;
+  a.mem_bandwidth_gbs = 208.0;
+  a.max_registers_per_thread = 255;
+  a.l2_size_kb = 1280;
+  a.dispatch_units_per_scheduler = 2;
+  a.max_warps_per_sm = 64;
+  a.max_blocks_per_sm = 16;
+  a.registers_per_sm = 64 * 1024;
+  a.shared_mem_per_sm_bytes = 48 * 1024;
+  a.l1_size_kb = 16;
+  a.l1_caches_global_loads = false;  // CC 3.5: global loads served by L2
+  a.alu_dep_latency = 10;
+  a.sfu_dep_latency = 18;
+  a.shared_latency = 28;
+  a.l1_latency = 32;
+  a.l2_latency = 200;
+  a.dram_latency = 470;
+  return a;
+}
+
+ArchSpec kepler_k40() {
+  ArchSpec a = kepler_k20m();
+  a.name = "k40";
+  a.clock_ghz = 0.745;
+  a.sm_count = 15;
+  a.mem_bandwidth_gbs = 288.0;
+  a.l2_size_kb = 1536;
+  return a;
+}
+
+const std::vector<ArchSpec>& arch_registry() {
+  static const std::vector<ArchSpec> archs = {gtx580(), gtx480(),
+                                              kepler_k20m(), kepler_k40()};
+  return archs;
+}
+
+const ArchSpec& arch_by_name(const std::string& name) {
+  for (const auto& a : arch_registry()) {
+    if (a.name == name) return a;
+  }
+  BF_FAIL("unknown architecture: " << name);
+}
+
+std::vector<std::pair<std::string, double>> machine_characteristics(
+    const ArchSpec& arch) {
+  return {
+      {"wsched", static_cast<double>(arch.warp_schedulers_per_sm)},
+      {"freq", arch.clock_ghz},
+      {"smp", static_cast<double>(arch.sm_count)},
+      {"rco", static_cast<double>(arch.cores_per_sm)},
+      {"mbw", arch.mem_bandwidth_gbs},
+      {"regs", static_cast<double>(arch.max_registers_per_thread)},
+      {"l2c", static_cast<double>(arch.l2_size_kb)},
+  };
+}
+
+}  // namespace bf::gpusim

@@ -1,0 +1,100 @@
+// GPU architecture descriptions.
+//
+// The paper trains on an NVIDIA GTX580 (Fermi, CC 2.0) and predicts on a
+// Tesla K20m (Kepler, CC 3.5); its Table 2 lists the machine characteristics
+// injected into the hardware-scaling model (warp schedulers, clock, SM
+// count, cores/SM, memory bandwidth, registers, L2 size). ArchSpec carries
+// those plus the micro-architectural constants the timing model needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bf::gpusim {
+
+enum class Generation { kFermi, kKepler };
+
+struct ArchSpec {
+  std::string name;
+  Generation generation = Generation::kFermi;
+
+  // ---- Table 2 machine characteristics (the paper's predictors) ----
+  int warp_schedulers_per_sm = 2;   ///< wsched
+  double clock_ghz = 1.4;           ///< freq
+  int sm_count = 15;                ///< smp
+  int cores_per_sm = 32;            ///< rco
+  double mem_bandwidth_gbs = 177.4; ///< mbw
+  int max_registers_per_thread = 63;///< paper row "registers"
+  int l2_size_kb = 768;             ///< l2c
+
+  // ---- Additional microarchitecture constants ----
+  int dispatch_units_per_scheduler = 1;  ///< dual issue on Kepler
+  int warp_size = 32;
+  int max_warps_per_sm = 48;
+  int max_blocks_per_sm = 8;
+  int max_threads_per_block = 1024;
+  int registers_per_sm = 32 * 1024;
+  int shared_mem_per_sm_bytes = 48 * 1024;
+  int shared_banks = 32;
+  int shared_bank_width_bytes = 4;
+
+  int l1_size_kb = 16;
+  int l1_line_bytes = 128;
+  int l1_assoc = 4;
+  int l2_line_bytes = 128;
+  int l2_assoc = 8;
+  /// Fermi caches global loads in L1; Kepler (CC 3.5) reserves L1 for
+  /// local/stack data and serves global loads from L2 — the exact
+  /// difference the paper's Fig. 8 hardware-scaling discussion hinges on.
+  bool l1_caches_global_loads = true;
+
+  /// Memory transaction granularities (bytes): L1-cached accesses move
+  /// 128-byte lines; L2/uncached accesses move 32-byte segments.
+  int l1_transaction_bytes = 128;
+  int l2_transaction_bytes = 32;
+
+  // Latencies in core cycles.
+  int alu_dep_latency = 18;
+  int sfu_dep_latency = 28;
+  int shared_latency = 26;
+  int l1_latency = 30;
+  int l2_latency = 190;
+  int dram_latency = 440;
+  int sync_latency = 4;
+
+  /// Issue slots one warp-wide arithmetic instruction occupies on its
+  /// scheduler: warp_size / (cores_per_sm / warp_schedulers_per_sm),
+  /// clamped to >= 1 (2 on Fermi, 1 on Kepler).
+  int arith_issue_cycles() const;
+
+  /// Per-SM slice of the shared L2 (the simulator models L2 as per-SM
+  /// slices to keep SM simulations independent).
+  int l2_slice_bytes() const;
+
+  /// Theoretical single-precision FMA throughput, per SM per cycle.
+  double flops_per_sm_cycle() const { return 2.0 * cores_per_sm; }
+};
+
+/// GeForce GTX 580: Fermi GF110, the paper's training GPU.
+ArchSpec gtx580();
+/// GeForce GTX 480: Fermi GF100 (Table 2 lists it as the Fermi column).
+ArchSpec gtx480();
+/// Tesla K20m: Kepler GK110, the paper's prediction target.
+ArchSpec kepler_k20m();
+/// Tesla K40: a second Kepler part for "sufficiently similar hardware"
+/// experiments (same generation, more SMs).
+ArchSpec kepler_k40();
+
+/// All architectures known to the registry.
+const std::vector<ArchSpec>& arch_registry();
+
+/// Look up by name; throws bf::Error for unknown names.
+const ArchSpec& arch_by_name(const std::string& name);
+
+/// The machine-characteristic columns injected into hardware-scaling
+/// datasets, in Table 2 order: wsched, freq, smp, rco, mbw, regs, l2c.
+std::vector<std::pair<std::string, double>> machine_characteristics(
+    const ArchSpec& arch);
+
+}  // namespace bf::gpusim

@@ -1,0 +1,39 @@
+#include "gpusim/coalescer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bf::gpusim {
+
+std::vector<std::uint64_t> coalesce(const WarpInstr& instr,
+                                    int segment_bytes) {
+  BF_CHECK_MSG(segment_bytes > 0 && (segment_bytes & (segment_bytes - 1)) == 0,
+               "segment size must be a power of two");
+  BF_CHECK_MSG(is_memory_op(instr.op), "coalesce on non-memory instruction");
+  const std::uint64_t seg_mask = ~static_cast<std::uint64_t>(segment_bytes - 1);
+
+  // A lane access of `access_bytes` may straddle a segment boundary; cover
+  // both ends. Gather distinct segment bases (warp width is 32, so a small
+  // sort-unique beats a hash set).
+  std::vector<std::uint64_t> segs;
+  segs.reserve(32);
+  for (int lane = 0; lane < 32; ++lane) {
+    if (((instr.mask >> lane) & 1u) == 0) continue;
+    const std::uint64_t first = instr.addr[static_cast<std::size_t>(lane)];
+    const std::uint64_t last = first + instr.access_bytes - 1;
+    segs.push_back(first & seg_mask);
+    if ((last & seg_mask) != (first & seg_mask)) {
+      segs.push_back(last & seg_mask);
+    }
+  }
+  std::sort(segs.begin(), segs.end());
+  segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
+  return segs;
+}
+
+int coalesced_transaction_count(const WarpInstr& instr, int segment_bytes) {
+  return static_cast<int>(coalesce(instr, segment_bytes).size());
+}
+
+}  // namespace bf::gpusim

@@ -1,0 +1,64 @@
+#include "gpusim/counters.hpp"
+
+#include "common/error.hpp"
+
+namespace bf::gpusim {
+
+const char* event_name(Event e) {
+  switch (e) {
+    case Event::kInstExecuted: return "inst_executed";
+    case Event::kInstIssued: return "inst_issued";
+    case Event::kThreadInstExecuted: return "thread_inst_executed";
+    case Event::kGldRequest: return "gld_request";
+    case Event::kGstRequest: return "gst_request";
+    case Event::kL1GlobalLoadHit: return "l1_global_load_hit";
+    case Event::kL1GlobalLoadMiss: return "l1_global_load_miss";
+    case Event::kGlobalLoadTransaction: return "global_load_transaction";
+    case Event::kGlobalStoreTransaction: return "global_store_transaction";
+    case Event::kL2ReadTransactions: return "l2_read_transactions";
+    case Event::kL2WriteTransactions: return "l2_write_transactions";
+    case Event::kL2ReadHit: return "l2_read_hit";
+    case Event::kL2ReadMiss: return "l2_read_miss";
+    case Event::kSharedLoad: return "shared_load";
+    case Event::kSharedStore: return "shared_store";
+    case Event::kSharedBankConflict: return "l1_shared_bank_conflict";
+    case Event::kSharedLoadReplay: return "shared_load_replay";
+    case Event::kSharedStoreReplay: return "shared_store_replay";
+    case Event::kBranch: return "branch";
+    case Event::kDivergentBranch: return "divergent_branch";
+    case Event::kActiveCycles: return "active_cycles";
+    case Event::kActiveWarpCycles: return "active_warp_cycles";
+    case Event::kIssueSlotsTotal: return "issue_slots_total";
+    case Event::kElapsedCycles: return "elapsed_cycles";
+    case Event::kDramReadTransactions: return "dram_read_transactions";
+    case Event::kDramWriteTransactions: return "dram_write_transactions";
+    case Event::kGlobalLoadBytesRequested:
+      return "global_load_bytes_requested";
+    case Event::kGlobalStoreBytesRequested:
+      return "global_store_bytes_requested";
+    case Event::kFlopCount: return "flop_count";
+    case Event::kCount: break;
+  }
+  BF_FAIL("invalid event");
+}
+
+void CounterSet::accumulate(const CounterSet& other) {
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    values_[i] += other.values_[i];
+  }
+}
+
+void CounterSet::scale(double factor) {
+  for (auto& v : values_) v *= factor;
+}
+
+std::vector<std::pair<std::string, double>> CounterSet::named() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(kNumEvents);
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    out.emplace_back(event_name(static_cast<Event>(i)), values_[i]);
+  }
+  return out;
+}
+
+}  // namespace bf::gpusim

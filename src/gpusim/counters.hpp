@@ -1,0 +1,77 @@
+// Raw hardware event accumulation.
+//
+// The engine increments these events as it executes warp instructions; the
+// profiling layer later derives nvprof-style metrics (ipc, occupancy,
+// throughputs, replay overheads) from them plus the elapsed time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bf::gpusim {
+
+enum class Event : int {
+  kInstExecuted = 0,     ///< warp instructions retired (no replays)
+  kInstIssued,           ///< issue slots consumed (includes replays)
+  kThreadInstExecuted,   ///< sum of active lanes over executed instructions
+  kGldRequest,           ///< global load instructions, per warp
+  kGstRequest,           ///< global store instructions, per warp
+  kL1GlobalLoadHit,      ///< L1 lines hit by global loads (Fermi path)
+  kL1GlobalLoadMiss,     ///< L1 lines missed by global loads
+  kGlobalLoadTransaction,   ///< global load memory transactions
+  kGlobalStoreTransaction,  ///< global store memory transactions
+  kL2ReadTransactions,   ///< 32 B read transactions seen by L2
+  kL2WriteTransactions,  ///< 32 B write transactions seen by L2
+  kL2ReadHit,            ///< L2 line read hits
+  kL2ReadMiss,           ///< L2 line read misses
+  kSharedLoad,           ///< shared load instructions, per warp
+  kSharedStore,          ///< shared store instructions, per warp
+  kSharedBankConflict,   ///< replays due to shared bank conflicts (Fermi name)
+  kSharedLoadReplay,     ///< load-side conflict replays (Kepler name)
+  kSharedStoreReplay,    ///< store-side conflict replays (Kepler name)
+  kBranch,               ///< branch instructions, per warp
+  kDivergentBranch,      ///< branches that diverged
+  kActiveCycles,         ///< sum over SMs of cycles with >= 1 resident warp
+  kActiveWarpCycles,     ///< integral of resident warps over active cycles
+  kIssueSlotsTotal,      ///< scheduler issue slots available while active
+  kElapsedCycles,        ///< device wall-clock cycles for the launch
+  kDramReadTransactions,   ///< 32 B DRAM reads
+  kDramWriteTransactions,  ///< 32 B DRAM writes
+  kGlobalLoadBytesRequested,   ///< bytes the kernel asked to load
+  kGlobalStoreBytesRequested,  ///< bytes the kernel asked to store
+  kFlopCount,            ///< single-precision lane-operations executed
+  kCount
+};
+
+constexpr std::size_t kNumEvents = static_cast<std::size_t>(Event::kCount);
+
+/// Stable lowercase identifier for an event (used in CSV headers).
+const char* event_name(Event e);
+
+/// A fixed-size vector of event counts with named access.
+class CounterSet {
+ public:
+  CounterSet() { values_.fill(0.0); }
+
+  double get(Event e) const {
+    return values_[static_cast<std::size_t>(e)];
+  }
+  void set(Event e, double v) { values_[static_cast<std::size_t>(e)] = v; }
+  void add(Event e, double v) { values_[static_cast<std::size_t>(e)] += v; }
+
+  /// Element-wise accumulate (multi-launch applications).
+  void accumulate(const CounterSet& other);
+
+  /// Multiply every event by `factor` (block-sampling extrapolation).
+  void scale(double factor);
+
+  /// (name, value) pairs for all events.
+  std::vector<std::pair<std::string, double>> named() const;
+
+ private:
+  std::array<double, kNumEvents> values_;
+};
+
+}  // namespace bf::gpusim

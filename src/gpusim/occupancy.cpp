@@ -1,0 +1,60 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bf::gpusim {
+
+OccupancyResult compute_occupancy(const ArchSpec& arch,
+                                  const LaunchGeometry& geom) {
+  const int threads = geom.block_size();
+  BF_CHECK_MSG(threads >= 1, "empty thread block");
+  BF_CHECK_MSG(threads <= arch.max_threads_per_block,
+               "block of " << threads << " threads exceeds limit "
+                           << arch.max_threads_per_block);
+  const int warps_per_block = geom.warps_per_block(arch.warp_size);
+
+  // Registers are allocated per warp, in full-warp granularity.
+  const int regs_per_thread =
+      std::min(geom.registers_per_thread, arch.max_registers_per_thread);
+  const int regs_per_block = regs_per_thread * warps_per_block *
+                             arch.warp_size;
+  BF_CHECK_MSG(regs_per_block <= arch.registers_per_sm,
+               "block needs " << regs_per_block << " registers, SM has "
+                              << arch.registers_per_sm);
+  BF_CHECK_MSG(geom.shared_mem_per_block <= arch.shared_mem_per_sm_bytes,
+               "block needs " << geom.shared_mem_per_block
+                              << " B shared memory, SM has "
+                              << arch.shared_mem_per_sm_bytes);
+
+  const int limit_blocks = arch.max_blocks_per_sm;
+  const int limit_warps = arch.max_warps_per_sm / warps_per_block;
+  const int limit_regs =
+      regs_per_block > 0 ? arch.registers_per_sm / regs_per_block
+                         : arch.max_blocks_per_sm;
+  const int limit_shared =
+      geom.shared_mem_per_block > 0
+          ? arch.shared_mem_per_sm_bytes / geom.shared_mem_per_block
+          : arch.max_blocks_per_sm;
+
+  OccupancyResult out;
+  out.blocks_per_sm = std::min({limit_blocks, limit_warps, limit_regs,
+                                limit_shared});
+  BF_CHECK_MSG(out.blocks_per_sm >= 1, "kernel cannot be resident at all");
+  out.warps_per_sm = out.blocks_per_sm * warps_per_block;
+  out.occupancy = static_cast<double>(out.warps_per_sm) /
+                  static_cast<double>(arch.max_warps_per_sm);
+  if (out.blocks_per_sm == limit_blocks) {
+    out.limiter = "blocks";
+  } else if (out.blocks_per_sm == limit_warps) {
+    out.limiter = "warps";
+  } else if (out.blocks_per_sm == limit_regs) {
+    out.limiter = "registers";
+  } else {
+    out.limiter = "shared";
+  }
+  return out;
+}
+
+}  // namespace bf::gpusim

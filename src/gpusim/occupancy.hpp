@@ -1,0 +1,28 @@
+// Theoretical occupancy calculation (the CUDA occupancy calculator rules).
+//
+// Resident blocks per SM are limited by four resources: the block slots,
+// the warp slots, the register file and shared memory. The achieved
+// occupancy *counter* is measured by the timing engine; this header gives
+// the static limits that determine how many blocks the engine may make
+// resident at once.
+#pragma once
+
+#include "gpusim/arch.hpp"
+#include "gpusim/trace.hpp"
+
+namespace bf::gpusim {
+
+struct OccupancyResult {
+  int blocks_per_sm = 0;      ///< resident thread blocks per SM
+  int warps_per_sm = 0;       ///< resident warps per SM
+  double occupancy = 0.0;     ///< warps_per_sm / max_warps_per_sm
+  /// Which resource bound first: "blocks", "warps", "registers", "shared".
+  const char* limiter = "";
+};
+
+/// Compute the occupancy of `geom` on `arch`. Throws bf::Error if the
+/// block cannot run at all (too many threads, registers or shared memory).
+OccupancyResult compute_occupancy(const ArchSpec& arch,
+                                  const LaunchGeometry& geom);
+
+}  // namespace bf::gpusim

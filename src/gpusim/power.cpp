@@ -1,0 +1,56 @@
+#include "gpusim/power.hpp"
+
+#include <algorithm>
+
+namespace bf::gpusim {
+
+PowerBreakdown estimate_power(const ArchSpec& arch, const CounterSet& counters,
+                              double time_ms) {
+  PowerBreakdown out;
+  const double time_s = std::max(time_ms, 1e-9) * 1e-3;
+
+  // Generation-dependent baseline and per-activity coefficients.
+  const bool fermi = arch.generation == Generation::kFermi;
+  out.idle_w = fermi ? 45.0 : 40.0;
+  const double w_per_issue_ghz = fermi ? 55.0 : 38.0;  // W at 1 inst/cycle/SM
+  const double nj_per_dram_byte = fermi ? 0.30 : 0.22;
+  const double nj_per_l2_byte = fermi ? 0.08 : 0.06;
+  const double nj_per_shared_access = fermi ? 10.0 : 8.0;
+
+  const double active_cycles = counters.get(Event::kActiveCycles);
+  const double ipc_per_sm =
+      active_cycles > 0 ? counters.get(Event::kInstExecuted) / active_cycles
+                        : 0.0;
+  // Busy fraction of the whole device over the launch.
+  const double device_cycles = counters.get(Event::kElapsedCycles);
+  const double busy =
+      device_cycles > 0
+          ? std::min(1.0, active_cycles /
+                              (device_cycles * arch.sm_count))
+          : 0.0;
+  out.core_w = w_per_issue_ghz * ipc_per_sm * busy * arch.sm_count *
+               arch.clock_ghz / 16.0;  // normalised to a 16-SM part
+
+  const double dram_bytes =
+      (counters.get(Event::kDramReadTransactions) +
+       counters.get(Event::kDramWriteTransactions)) *
+      arch.l2_transaction_bytes;
+  out.dram_w = dram_bytes * nj_per_dram_byte * 1e-9 / time_s;
+
+  const double l2_bytes = (counters.get(Event::kL2ReadTransactions) +
+                           counters.get(Event::kL2WriteTransactions)) *
+                          arch.l2_transaction_bytes;
+  out.l2_w = l2_bytes * nj_per_l2_byte * 1e-9 / time_s;
+
+  const double shared_accesses = counters.get(Event::kSharedLoad) +
+                                 counters.get(Event::kSharedStore) +
+                                 counters.get(Event::kSharedBankConflict);
+  out.shared_w = shared_accesses * nj_per_shared_access * 1e-9 / time_s;
+
+  out.total_w =
+      out.idle_w + out.core_w + out.dram_w + out.l2_w + out.shared_w;
+  out.energy_j = out.total_w * time_s;
+  return out;
+}
+
+}  // namespace bf::gpusim

@@ -1,0 +1,32 @@
+// Counter-based power estimation (paper §7 extension: "our method is not
+// limited to predicting execution time - one could use other metrics of
+// interest, such as power, as response variable").
+//
+// A simple activity-factor model in the tradition of Nagasaka et al. 2010:
+// board power = idle + core-activity term (IPC-weighted) + unit terms for
+// DRAM, L2 and shared-memory traffic. The coefficients are per-generation
+// constants chosen to land in realistic board-power ranges; what matters
+// for the statistical method is that power correlates mechanistically with
+// the counters.
+#pragma once
+
+#include "gpusim/arch.hpp"
+#include "gpusim/counters.hpp"
+
+namespace bf::gpusim {
+
+struct PowerBreakdown {
+  double idle_w = 0.0;
+  double core_w = 0.0;
+  double dram_w = 0.0;
+  double l2_w = 0.0;
+  double shared_w = 0.0;
+  double total_w = 0.0;
+  double energy_j = 0.0;  ///< total power times elapsed time
+};
+
+/// Estimate average board power for a launch from its counters and time.
+PowerBreakdown estimate_power(const ArchSpec& arch, const CounterSet& counters,
+                              double time_ms);
+
+}  // namespace bf::gpusim

@@ -1,0 +1,70 @@
+#include "gpusim/sharedmem.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/error.hpp"
+
+namespace bf::gpusim {
+
+int shared_access_passes(const WarpInstr& instr, const ArchSpec& arch) {
+  BF_CHECK_MSG(instr.op == Op::kLdShared || instr.op == Op::kStShared,
+               "shared_access_passes on non-shared instruction");
+  const int banks = arch.shared_banks;
+  const int width = arch.shared_bank_width_bytes;
+  BF_CHECK(banks > 0 && banks <= 64 && width > 0);
+
+  // Per bank, collect the distinct word addresses requested this access.
+  // Warp width is 32 so linear small-vector scans are cheapest.
+  std::array<std::array<std::uint32_t, 32>, 64> words{};
+  std::array<int, 64> counts{};
+  for (int lane = 0; lane < 32; ++lane) {
+    if (((instr.mask >> lane) & 1u) == 0) continue;
+    const std::uint32_t word =
+        instr.addr[static_cast<std::size_t>(lane)] /
+        static_cast<std::uint32_t>(width);
+    const int bank = static_cast<int>(word % static_cast<std::uint32_t>(banks));
+    auto& bank_words = words[static_cast<std::size_t>(bank)];
+    auto& n = counts[static_cast<std::size_t>(bank)];
+    bool seen = false;
+    for (int i = 0; i < n; ++i) {
+      if (bank_words[static_cast<std::size_t>(i)] == word) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) bank_words[static_cast<std::size_t>(n++)] = word;
+  }
+
+  int passes = 1;
+  for (int b = 0; b < banks; ++b) {
+    passes = std::max(passes, counts[static_cast<std::size_t>(b)]);
+  }
+  return passes;
+}
+
+int shared_atomic_passes(const WarpInstr& instr, const ArchSpec& arch) {
+  BF_CHECK_MSG(instr.op == Op::kAtomicShared,
+               "shared_atomic_passes on non-atomic instruction");
+  const int banks = arch.shared_banks;
+  const int width = arch.shared_bank_width_bytes;
+  BF_CHECK(banks > 0 && banks <= 64 && width > 0);
+
+  // Per bank, count ALL active lanes (duplicated addresses serialise too).
+  std::array<int, 64> counts{};
+  for (int lane = 0; lane < 32; ++lane) {
+    if (((instr.mask >> lane) & 1u) == 0) continue;
+    const std::uint32_t word =
+        instr.addr[static_cast<std::size_t>(lane)] /
+        static_cast<std::uint32_t>(width);
+    const int bank = static_cast<int>(word % static_cast<std::uint32_t>(banks));
+    ++counts[static_cast<std::size_t>(bank)];
+  }
+  int passes = 1;
+  for (int b = 0; b < banks; ++b) {
+    passes = std::max(passes, counts[static_cast<std::size_t>(b)]);
+  }
+  return passes;
+}
+
+}  // namespace bf::gpusim

@@ -1,0 +1,33 @@
+// Shared-memory bank-conflict model.
+//
+// Shared memory is divided into `banks` word-wide banks (32 x 4 B on both
+// Fermi and Kepler in 4-byte mode). A warp access that maps two or more
+// *distinct* words to the same bank is serialised into that many passes;
+// lanes reading the same word broadcast and do not conflict. The extra
+// passes are instruction replays — the very events behind the paper's
+// shared_replay_overhead / l1_shared_bank_conflict counters that dominate
+// reduce1's bottleneck analysis (§5.2).
+#pragma once
+
+#include "gpusim/arch.hpp"
+#include "gpusim/trace.hpp"
+
+namespace bf::gpusim {
+
+/// Number of serialised passes (>= 1) needed for one shared-memory warp
+/// access. Replays = passes - 1.
+int shared_access_passes(const WarpInstr& instr, const ArchSpec& arch);
+
+/// Convenience: replays only.
+inline int shared_conflict_replays(const WarpInstr& instr,
+                                   const ArchSpec& arch) {
+  return shared_access_passes(instr, arch) - 1;
+}
+
+/// Serialised passes for a shared-memory ATOMIC: lanes mapping to the
+/// same bank conflict as usual, and lanes hitting the same address also
+/// serialise (the read-modify-write cannot broadcast). A warp-wide
+/// atomicAdd to a single histogram bin therefore takes 32 passes.
+int shared_atomic_passes(const WarpInstr& instr, const ArchSpec& arch);
+
+}  // namespace bf::gpusim

@@ -1,0 +1,47 @@
+// Tiled (shared-memory) matrix multiplication, as in the CUDA SDK
+// `matrixMul` sample the paper's §6.1.1 uses: C = A * B for n x n
+// matrices, computed by a grid of (n/b) x (n/b) blocks of b x b threads;
+// each block stages b x b tiles of A and B through shared memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/engine.hpp"
+#include "gpusim/trace.hpp"
+
+namespace bf::kernels {
+
+class MatMulKernel final : public gpusim::TraceKernel {
+ public:
+  /// n must be a multiple of tile (the SDK sample has the same
+  /// restriction). tile*tile must be <= 1024 threads.
+  explicit MatMulKernel(int n, int tile = 16);
+
+  std::string name() const override { return "matrixMul"; }
+  gpusim::LaunchGeometry geometry() const override;
+  void emit_warp(int block, int warp, gpusim::TraceSink& sink) const override;
+
+  int n() const { return n_; }
+  int tile() const { return tile_; }
+
+ private:
+  int n_;
+  int tile_;
+  std::uint32_t a_base_ = 0;
+  std::uint32_t b_base_ = 0;
+  std::uint32_t c_base_ = 0;
+};
+
+/// Functional reference of the tiled algorithm (tests the index math the
+/// trace emitter is built on).
+std::vector<double> matmul_reference(const std::vector<double>& a,
+                                     const std::vector<double>& b, int n);
+
+/// Run one matrix-multiply launch and return its aggregate (single-launch
+/// application).
+gpusim::AggregateResult simulate_matmul(const gpusim::Device& device, int n,
+                                        int tile = 16,
+                                        const gpusim::RunOptions& opts = {});
+
+}  // namespace bf::kernels

@@ -1,0 +1,301 @@
+#include "kernels/misc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "kernels/kernel_base.hpp"
+
+namespace bf::kernels {
+
+using gpusim::LaunchGeometry;
+using gpusim::Op;
+using gpusim::TraceSink;
+
+// ---- VecAdd ----
+
+VecAddKernel::VecAddKernel(std::int64_t n, int block_size)
+    : n_(n), block_(block_size) {
+  BF_CHECK_MSG(n >= 1, "empty vector");
+  BF_CHECK_MSG(block_size >= 32 && block_size % 32 == 0,
+               "block size must be a positive multiple of 32");
+  AddressSpace mem;
+  const std::uint64_t bytes = static_cast<std::uint64_t>(n) * 4;
+  a_base_ = mem.alloc(bytes);
+  b_base_ = mem.alloc(bytes);
+  c_base_ = mem.alloc(bytes);
+}
+
+LaunchGeometry VecAddKernel::geometry() const {
+  LaunchGeometry g;
+  g.grid_x = static_cast<int>((n_ + block_ - 1) / block_);
+  g.block_x = block_;
+  g.registers_per_thread = 10;
+  return g;
+}
+
+void VecAddKernel::emit_warp(int block, int warp, TraceSink& sink) const {
+  const std::uint32_t scope = gpusim::kFullMask;
+  const auto idx = [&](int lane) {
+    return static_cast<std::int64_t>(block) * block_ + warp * 32 + lane;
+  };
+  const std::uint32_t active =
+      scope & mask_where([&](int lane) { return idx(lane) < n_; });
+  if (active == 0) return;
+  sink.alu(scope, 2, Op::kIAlu);
+  sink.branch(scope, diverges(active, scope));
+  sink.global_load(active, lane_addrs([&](int lane) {
+    return a_base_ + 4u * static_cast<std::uint32_t>(idx(lane));
+  }));
+  sink.global_load(active, lane_addrs([&](int lane) {
+    return b_base_ + 4u * static_cast<std::uint32_t>(idx(lane));
+  }));
+  sink.alu(active, 1, Op::kFAlu);
+  sink.global_store(active, lane_addrs([&](int lane) {
+    return c_base_ + 4u * static_cast<std::uint32_t>(idx(lane));
+  }));
+}
+
+// ---- Transpose ----
+
+TransposeKernel::TransposeKernel(int n, TransposeVariant variant)
+    : n_(n), variant_(variant) {
+  BF_CHECK_MSG(n >= 32 && n % 32 == 0, "n must be a positive multiple of 32");
+  AddressSpace mem;
+  const std::uint64_t bytes = static_cast<std::uint64_t>(n) * n * 4;
+  in_base_ = mem.alloc(bytes);
+  out_base_ = mem.alloc(bytes);
+}
+
+std::string TransposeKernel::name() const {
+  switch (variant_) {
+    case TransposeVariant::kNaive: return "transposeNaive";
+    case TransposeVariant::kTiled: return "transposeTiled";
+    case TransposeVariant::kTiledPadded: return "transposeTiledPadded";
+  }
+  return "transpose";
+}
+
+LaunchGeometry TransposeKernel::geometry() const {
+  LaunchGeometry g;
+  const int tiles = n_ / 32;
+  g.grid_x = tiles;
+  g.grid_y = tiles;
+  g.block_x = 32;
+  g.block_y = 8;  // each thread handles 4 rows of the 32x32 tile
+  if (variant_ != TransposeVariant::kNaive) {
+    const int pitch = variant_ == TransposeVariant::kTiledPadded ? 33 : 32;
+    g.shared_mem_per_block = 32 * pitch * 4;
+  }
+  g.registers_per_thread = 14;
+  return g;
+}
+
+void TransposeKernel::emit_warp(int block, int warp, TraceSink& sink) const {
+  const std::uint32_t scope = gpusim::kFullMask;
+  const int tiles = n_ / 32;
+  const int bx = block % tiles;
+  const int by = block / tiles;
+  // blockDim = (32, 8): warp w covers row group ty = w (lanes are tx).
+  const int ty = warp;
+
+  const auto in_addr = [&](std::int64_t row, std::int64_t col) {
+    return in_base_ + 4u * static_cast<std::uint32_t>(row * n_ + col);
+  };
+  const auto out_addr = [&](std::int64_t row, std::int64_t col) {
+    return out_base_ + 4u * static_cast<std::uint32_t>(row * n_ + col);
+  };
+
+  sink.alu(scope, 3, Op::kIAlu);
+  if (variant_ == TransposeVariant::kNaive) {
+    // Each thread copies 4 elements: out[x][y] = in[y][x].
+    for (int rep = 0; rep < 4; ++rep) {
+      const int row = ty + rep * 8;
+      sink.global_load(scope, lane_addrs([&](int lane) {
+        return in_addr(static_cast<std::int64_t>(by) * 32 + row,
+                       static_cast<std::int64_t>(bx) * 32 + lane);
+      }));
+      // Store column-wise: lane addresses stride n_ apart -> uncoalesced.
+      sink.global_store(scope, lane_addrs([&](int lane) {
+        return out_addr(static_cast<std::int64_t>(bx) * 32 + lane,
+                        static_cast<std::int64_t>(by) * 32 + row);
+      }));
+    }
+    return;
+  }
+
+  const int pitch = variant_ == TransposeVariant::kTiledPadded ? 33 : 32;
+  // Load phase: tile[ty+rep*8][tx] = in[...]; coalesced loads, row-major
+  // shared stores (conflict-free for either pitch).
+  for (int rep = 0; rep < 4; ++rep) {
+    const int row = ty + rep * 8;
+    sink.global_load(scope, lane_addrs([&](int lane) {
+      return in_addr(static_cast<std::int64_t>(by) * 32 + row,
+                     static_cast<std::int64_t>(bx) * 32 + lane);
+    }));
+    sink.shared_store(scope, lane_addrs([&](int lane) {
+      return 4u * static_cast<std::uint32_t>(row * pitch + lane);
+    }));
+  }
+  sink.sync();
+  // Store phase: out[...] = tile[tx][ty+rep*8]; the shared *load* walks a
+  // tile column — pitch 32 puts all 32 lanes in one bank (32-way
+  // conflict), pitch 33 spreads them across banks.
+  for (int rep = 0; rep < 4; ++rep) {
+    const int row = ty + rep * 8;
+    sink.shared_load(scope, lane_addrs([&](int lane) {
+      return 4u * static_cast<std::uint32_t>(lane * pitch + row);
+    }));
+    sink.global_store(scope, lane_addrs([&](int lane) {
+      return out_addr(static_cast<std::int64_t>(bx) * 32 + row,
+                      static_cast<std::int64_t>(by) * 32 + lane);
+    }));
+  }
+}
+
+// ---- Histogram ----
+
+HistogramKernel::HistogramKernel(std::int64_t n, int bins, double skew,
+                                 int block_size)
+    : n_(n), bins_(bins), skew_(skew), block_(block_size) {
+  BF_CHECK_MSG(n >= 1, "empty input");
+  BF_CHECK_MSG(bins >= 2 && bins <= 4096, "bins must be in [2, 4096]");
+  BF_CHECK_MSG(skew >= 0.0 && skew <= 1.0, "skew must be in [0,1]");
+  BF_CHECK_MSG(block_size >= 64 && block_size % 32 == 0,
+               "block size must be a multiple of 32, >= 64");
+  // Grid-stride kernel: cap the grid like reduce6 so threads loop.
+  grid_ = static_cast<int>(
+      std::min<std::int64_t>(128, (n + block_size - 1) / block_size));
+  AddressSpace mem;
+  in_base_ = mem.alloc(static_cast<std::uint64_t>(n) * 4);
+  out_base_ = mem.alloc(static_cast<std::uint64_t>(bins) * 4);
+}
+
+gpusim::LaunchGeometry HistogramKernel::geometry() const {
+  gpusim::LaunchGeometry g;
+  g.grid_x = grid_;
+  g.block_x = block_;
+  g.shared_mem_per_block = bins_ * 4;
+  g.registers_per_thread = 16;
+  return g;
+}
+
+int HistogramKernel::bin_of(std::int64_t element) const {
+  // splitmix-style hash for the uniform part.
+  std::uint64_t z = static_cast<std::uint64_t>(element) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  const int uniform_bin =
+      static_cast<int>(z % static_cast<std::uint64_t>(bins_));
+  // With probability `skew_` (deterministically derived from the hash),
+  // the element collapses into bin 0.
+  const double u = static_cast<double>((z >> 11) & 0xfffffu) / 1048576.0;
+  return u < skew_ ? 0 : uniform_bin;
+}
+
+void HistogramKernel::emit_warp(int block, int warp,
+                                TraceSink& sink) const {
+  const std::uint32_t scope = gpusim::kFullMask;
+  const std::int64_t stride = static_cast<std::int64_t>(grid_) * block_;
+  std::int64_t base = static_cast<std::int64_t>(block) * block_ + warp * 32;
+
+  // Zero the shared histogram cooperatively (bins/block_ words each).
+  sink.shared_store(scope, lane_addrs([&](int lane) {
+    return 4u * static_cast<std::uint32_t>((warp * 32 + lane) % bins_);
+  }));
+  sink.sync();
+
+  while (base < n_) {
+    const std::uint32_t active =
+        scope & mask_where([&](int lane) { return base + lane < n_; });
+    sink.branch(scope, diverges(active, scope));
+    if (active == 0) break;
+    sink.global_load(active, lane_addrs([&](int lane) {
+      return in_base_ + 4u * static_cast<std::uint32_t>(base + lane);
+    }));
+    sink.alu(active, 2, Op::kIAlu);  // bin computation
+    sink.shared_atomic(active, lane_addrs([&](int lane) {
+      return 4u * static_cast<std::uint32_t>(bin_of(base + lane));
+    }));
+    sink.alu(scope, 1, Op::kIAlu);  // index advance
+    base += stride;
+  }
+  sink.sync();
+  // Flush the shared histogram to global memory (bins spread over the
+  // block's threads; only warp 0 emits the tail if bins < block).
+  if (warp * 32 < bins_) {
+    const std::uint32_t active = scope & mask_where([&](int lane) {
+      return warp * 32 + lane < bins_;
+    });
+    if (active != 0) {
+      sink.shared_load(active, lane_addrs([&](int lane) {
+        return 4u * static_cast<std::uint32_t>(warp * 32 + lane);
+      }));
+      // Real histogram kernels use global atomics here; model the store
+      // plus serialisation-free traffic.
+      sink.global_store(active, lane_addrs([&](int lane) {
+        return out_base_ + 4u * static_cast<std::uint32_t>(warp * 32 + lane);
+      }));
+    }
+  }
+}
+
+// ---- Stencil ----
+
+Stencil5Kernel::Stencil5Kernel(int n, int block_size)
+    : n_(n), block_(block_size) {
+  BF_CHECK_MSG(n >= 3, "grid too small for a 5-point stencil");
+  BF_CHECK_MSG(block_size >= 32 && block_size % 32 == 0,
+               "block size must be a positive multiple of 32");
+  AddressSpace mem;
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) * 4;
+  in_base_ = mem.alloc(bytes);
+  out_base_ = mem.alloc(bytes);
+}
+
+LaunchGeometry Stencil5Kernel::geometry() const {
+  LaunchGeometry g;
+  const std::int64_t interior =
+      static_cast<std::int64_t>(n_ - 2) * (n_ - 2);
+  g.grid_x = static_cast<int>((interior + block_ - 1) / block_);
+  g.block_x = block_;
+  g.registers_per_thread = 16;
+  return g;
+}
+
+void Stencil5Kernel::emit_warp(int block, int warp, TraceSink& sink) const {
+  const std::uint32_t scope = gpusim::kFullMask;
+  const std::int64_t interior_w = n_ - 2;
+  const std::int64_t interior = interior_w * interior_w;
+  const auto flat = [&](int lane) {
+    return static_cast<std::int64_t>(block) * block_ + warp * 32 + lane;
+  };
+  const std::uint32_t active =
+      scope & mask_where([&](int lane) { return flat(lane) < interior; });
+  if (active == 0) return;
+  const auto cell_addr = [&](int lane, int dr, int dc) {
+    const std::int64_t f = flat(lane);
+    const std::int64_t r = f / interior_w + 1 + dr;
+    const std::int64_t c = f % interior_w + 1 + dc;
+    return in_base_ + 4u * static_cast<std::uint32_t>(r * n_ + c);
+  };
+
+  sink.alu(scope, 4, Op::kIAlu);
+  sink.branch(scope, diverges(active, scope));
+  static constexpr int kOffsets[5][2] = {
+      {0, 0}, {-1, 0}, {1, 0}, {0, -1}, {0, 1}};
+  for (const auto& off : kOffsets) {
+    sink.global_load(active, lane_addrs([&](int lane) {
+      return cell_addr(lane, off[0], off[1]);
+    }));
+    sink.alu(active, 1, Op::kFAlu);
+  }
+  sink.global_store(active, lane_addrs([&](int lane) {
+    const std::int64_t f = flat(lane);
+    const std::int64_t r = f / interior_w + 1;
+    const std::int64_t c = f % interior_w + 1;
+    return out_base_ + 4u * static_cast<std::uint32_t>(r * n_ + c);
+  }));
+}
+
+}  // namespace bf::kernels

@@ -1,0 +1,98 @@
+// Additional kernels exercising distinct bottleneck signatures, used by
+// the examples and the extended test suite:
+//  - VecAddKernel: perfectly coalesced streaming, the bandwidth baseline;
+//  - TransposeKernel: naive (uncoalesced stores), tiled (bank conflicts on
+//    the tile columns), and tiled-padded (conflict-free) variants — the
+//    canonical optimisation pair for a user-authored analysis;
+//  - Stencil5Kernel: 5-point stencil with high L1/L2 reuse.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/engine.hpp"
+#include "gpusim/trace.hpp"
+
+namespace bf::kernels {
+
+class VecAddKernel final : public gpusim::TraceKernel {
+ public:
+  explicit VecAddKernel(std::int64_t n, int block_size = 256);
+
+  std::string name() const override { return "vecAdd"; }
+  gpusim::LaunchGeometry geometry() const override;
+  void emit_warp(int block, int warp, gpusim::TraceSink& sink) const override;
+
+ private:
+  std::int64_t n_;
+  int block_;
+  std::uint32_t a_base_ = 0;
+  std::uint32_t b_base_ = 0;
+  std::uint32_t c_base_ = 0;
+};
+
+enum class TransposeVariant {
+  kNaive,        ///< out[j][i] = in[i][j]: column-strided stores
+  kTiled,        ///< 32x32 shared tile, unpadded: 32-way bank conflicts
+  kTiledPadded,  ///< 32x33 shared tile: conflict-free
+};
+
+class TransposeKernel final : public gpusim::TraceKernel {
+ public:
+  /// n x n single-precision matrix; n must be a multiple of 32.
+  TransposeKernel(int n, TransposeVariant variant);
+
+  std::string name() const override;
+  gpusim::LaunchGeometry geometry() const override;
+  void emit_warp(int block, int warp, gpusim::TraceSink& sink) const override;
+
+ private:
+  int n_;
+  TransposeVariant variant_;
+  std::uint32_t in_base_ = 0;
+  std::uint32_t out_base_ = 0;
+};
+
+/// Shared-memory histogram: each thread grid-strides over the input and
+/// atomicAdds into a per-block shared histogram. The bottleneck signature
+/// is atomic contention — serialisation that grows as the input
+/// distribution skews toward few bins. `skew` in [0,1]: 0 = uniform bins,
+/// 1 = every element hits bin 0 (worst case: warp-wide 32-pass atomics).
+class HistogramKernel final : public gpusim::TraceKernel {
+ public:
+  HistogramKernel(std::int64_t n, int bins = 256, double skew = 0.0,
+                  int block_size = 256);
+
+  std::string name() const override { return "histogram"; }
+  gpusim::LaunchGeometry geometry() const override;
+  void emit_warp(int block, int warp, gpusim::TraceSink& sink) const override;
+
+  /// The bin a given element lands in (deterministic hash + skew mix).
+  int bin_of(std::int64_t element) const;
+
+ private:
+  std::int64_t n_;
+  int bins_;
+  double skew_;
+  int block_;
+  int grid_;
+  std::uint32_t in_base_ = 0;
+  std::uint32_t out_base_ = 0;
+};
+
+class Stencil5Kernel final : public gpusim::TraceKernel {
+ public:
+  /// n x n grid, interior points updated from 4 neighbours + centre.
+  explicit Stencil5Kernel(int n, int block_size = 256);
+
+  std::string name() const override { return "stencil5"; }
+  gpusim::LaunchGeometry geometry() const override;
+  void emit_warp(int block, int warp, gpusim::TraceSink& sink) const override;
+
+ private:
+  int n_;
+  int block_;
+  std::uint32_t in_base_ = 0;
+  std::uint32_t out_base_ = 0;
+};
+
+}  // namespace bf::kernels

@@ -1,0 +1,284 @@
+#include "kernels/nw.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "kernels/kernel_base.hpp"
+
+namespace bf::kernels {
+
+using gpusim::LaunchGeometry;
+using gpusim::Op;
+using gpusim::TraceSink;
+
+namespace {
+constexpr int kB = kNwBlockSize;
+}
+
+NwDiagonalKernel::NwDiagonalKernel(int seq_len, int diag, int num_blocks,
+                                   int traversal)
+    : seq_len_(seq_len),
+      diag_(diag),
+      blocks_(num_blocks),
+      traversal_(traversal),
+      cols_(seq_len + 1) {
+  BF_CHECK_MSG(seq_len >= kB && seq_len % kB == 0,
+               "sequence length must be a positive multiple of " << kB);
+  BF_CHECK_MSG(traversal == 1 || traversal == 2, "traversal must be 1 or 2");
+  BF_CHECK_MSG(num_blocks >= 1 && num_blocks <= seq_len / kB,
+               "invalid strip width");
+  AddressSpace mem;
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(cols_) * static_cast<std::uint64_t>(cols_);
+  ref_base_ = mem.alloc(cells * 4);
+  matrix_base_ = mem.alloc(cells * 4);
+}
+
+std::string NwDiagonalKernel::name() const {
+  return traversal_ == 1 ? "needle_cuda_shared_1" : "needle_cuda_shared_2";
+}
+
+LaunchGeometry NwDiagonalKernel::geometry() const {
+  LaunchGeometry g;
+  g.grid_x = blocks_;
+  g.block_x = kB;
+  // temp[17][17] + ref[16][16] ints.
+  g.shared_mem_per_block = (17 * 17 + 16 * 16) * 4;
+  g.registers_per_thread = 28;
+  return g;
+}
+
+void NwDiagonalKernel::emit_warp(int block, int /*warp*/,
+                                 TraceSink& sink) const {
+  // 16 threads per block: half of warp 0.
+  const std::uint32_t scope = gpusim::mask_first_lanes(kB);
+  const int tile_rows = seq_len_ / kB;
+
+  // Tile coordinates along the anti-diagonal. Traversal 2 mirrors to the
+  // bottom-right corner of the tile grid.
+  int tr = diag_ - block;  // tile row
+  int tc = block;          // tile col
+  if (traversal_ == 2) {
+    tr = tile_rows - 1 - tr;
+    tc = tile_rows - 1 - tc;
+  }
+  BF_CHECK(tr >= 0 && tr < tile_rows && tc >= 0 && tc < tile_rows);
+
+  // Cell origin of this tile within the (cols_)^2 matrices. The +1 row and
+  // column of the score matrix hold the gap-penalty borders.
+  const std::int64_t row0 = static_cast<std::int64_t>(tr) * kB + 1;
+  const std::int64_t col0 = static_cast<std::int64_t>(tc) * kB + 1;
+  const auto matrix_addr = [&](std::int64_t r, std::int64_t c) {
+    return matrix_base_ + 4u * static_cast<std::uint32_t>(r * cols_ + c);
+  };
+  const auto ref_addr = [&](std::int64_t r, std::int64_t c) {
+    return ref_base_ + 4u * static_cast<std::uint32_t>(r * cols_ + c);
+  };
+
+  // Shared layout (word offsets): temp[17][17] then ref[16][16].
+  const auto temp_off = [](int y, int x) {
+    return 4u * static_cast<std::uint32_t>(y * 17 + x);
+  };
+  const std::uint32_t ref_off0 = 4u * (17 * 17);
+  const auto sref_off = [&](int y, int x) {
+    return ref_off0 + 4u * static_cast<std::uint32_t>(y * 16 + x);
+  };
+
+  sink.alu(scope, 6, Op::kIAlu);  // index arithmetic
+
+  // if (tid == 0) temp[0][0] = matrix[northwest];
+  sink.branch(scope, true);
+  sink.global_load(1u, lane_addrs([&](int) {
+    return matrix_addr(row0 - 1, col0 - 1);
+  }));
+  sink.shared_store(1u, lane_addrs([&](int) { return temp_off(0, 0); }));
+
+  // for (ty = 0..15) ref[ty][tid] = reference[row0+ty][col0+tid];
+  for (int ty = 0; ty < kB; ++ty) {
+    sink.global_load(scope, lane_addrs([&](int lane) {
+      return ref_addr(row0 + ty, col0 + lane);
+    }));
+    sink.shared_store(scope, lane_addrs([&](int lane) {
+      return sref_off(ty, lane);
+    }));
+  }
+  sink.sync();
+
+  // temp[tid+1][0] = matrix[row0+tid][col0-1];  -- west column, stride
+  // cols_ between lanes: entirely uncoalesced.
+  sink.global_load(scope, lane_addrs([&](int lane) {
+    return matrix_addr(row0 + lane, col0 - 1);
+  }));
+  sink.shared_store(scope, lane_addrs([&](int lane) {
+    return temp_off(lane + 1, 0);
+  }));
+  sink.sync();
+
+  // temp[0][tid+1] = matrix[row0-1][col0+tid];  -- north row, coalesced.
+  sink.global_load(scope, lane_addrs([&](int lane) {
+    return matrix_addr(row0 - 1, col0 + lane);
+  }));
+  sink.shared_store(scope, lane_addrs([&](int lane) {
+    return temp_off(0, lane + 1);
+  }));
+  sink.sync();
+
+  // Wavefront over the tile: forward then backward anti-diagonals. Thread
+  // tid computes cell (y, x) = (m - tid + 1, tid + 1) on step m.
+  const auto emit_diag_step = [&](int m) {
+    const std::uint32_t active = scope & gpusim::mask_first_lanes(
+        std::min(kB, m + 1));
+    sink.branch(scope, gpusim::mask_first_lanes(kB) != active);
+    if (active == 0) return;
+    const auto y = [&](int lane) { return m - lane + 1; };
+    const auto x = [&](int lane) { return lane + 1; };
+    // max(temp[y-1][x-1] + ref[y-1][x-1], temp[y][x-1] - p, temp[y-1][x] - p)
+    sink.shared_load(active, lane_addrs([&](int lane) {
+      return temp_off(y(lane) - 1, x(lane) - 1);
+    }));
+    sink.shared_load(active, lane_addrs([&](int lane) {
+      return sref_off(y(lane) - 1, x(lane) - 1);
+    }));
+    sink.shared_load(active, lane_addrs([&](int lane) {
+      return temp_off(y(lane), x(lane) - 1);
+    }));
+    sink.shared_load(active, lane_addrs([&](int lane) {
+      return temp_off(y(lane) - 1, x(lane));
+    }));
+    sink.alu(active, 4, Op::kIAlu);  // adds + two max ops
+    sink.shared_store(active, lane_addrs([&](int lane) {
+      return temp_off(y(lane), x(lane));
+    }));
+  };
+
+  for (int m = 0; m < kB; ++m) {
+    emit_diag_step(m);
+    sink.sync();
+  }
+  // Backward sweep: steps m = 14..0, active threads tid <= m but cells
+  // mirrored to the bottom-right of the tile.
+  for (int m = kB - 2; m >= 0; --m) {
+    const std::uint32_t active =
+        scope & gpusim::mask_first_lanes(std::min(kB, m + 1));
+    sink.branch(scope, gpusim::mask_first_lanes(kB) != active);
+    if (active != 0) {
+      const auto y = [&](int lane) { return kB - lane; };
+      const auto x = [&](int lane) { return kB - m + lane; };
+      sink.shared_load(active, lane_addrs([&](int lane) {
+        return temp_off(y(lane) - 1, x(lane) - 1);
+      }));
+      sink.shared_load(active, lane_addrs([&](int lane) {
+        return sref_off(y(lane) - 1, x(lane) - 1);
+      }));
+      sink.shared_load(active, lane_addrs([&](int lane) {
+        return temp_off(y(lane), x(lane) - 1);
+      }));
+      sink.shared_load(active, lane_addrs([&](int lane) {
+        return temp_off(y(lane) - 1, x(lane));
+      }));
+      sink.alu(active, 4, Op::kIAlu);
+      sink.shared_store(active, lane_addrs([&](int lane) {
+        return temp_off(y(lane), x(lane));
+      }));
+    }
+    sink.sync();
+  }
+
+  // Write the tile back: for (ty = 0..15) matrix[row0+ty][col0+tid] =
+  // temp[ty+1][tid+1];
+  for (int ty = 0; ty < kB; ++ty) {
+    sink.shared_load(scope, lane_addrs([&](int lane) {
+      return temp_off(ty + 1, lane + 1);
+    }));
+    sink.global_store(scope, lane_addrs([&](int lane) {
+      return matrix_addr(row0 + ty, col0 + lane);
+    }));
+  }
+}
+
+std::vector<int> nw_reference(const std::vector<int>& reference, int n,
+                              int penalty) {
+  const int cols = n + 1;
+  BF_CHECK_MSG(reference.size() ==
+                   static_cast<std::size_t>(cols) * cols,
+               "reference must be (n+1)^2");
+  std::vector<int> m(reference.size(), 0);
+  for (int i = 1; i <= n; ++i) m[static_cast<std::size_t>(i) * cols] = -i * penalty;
+  for (int j = 1; j <= n; ++j) m[static_cast<std::size_t>(j)] = -j * penalty;
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= n; ++j) {
+      const std::size_t idx = static_cast<std::size_t>(i) * cols + j;
+      const int diag = m[idx - cols - 1] + reference[idx];
+      const int west = m[idx - 1] - penalty;
+      const int north = m[idx - cols] - penalty;
+      m[idx] = std::max({diag, west, north});
+    }
+  }
+  return m;
+}
+
+gpusim::AggregateResult simulate_nw(const gpusim::Device& device, int seq_len,
+                                    const gpusim::RunOptions& opts) {
+  const int tile_rows = seq_len / kB;
+  BF_CHECK_MSG(tile_rows >= 1 && seq_len % kB == 0,
+               "seq_len must be a positive multiple of " << kB);
+
+  // Sample a ladder of strip widths; launches in between are interpolated
+  // linearly in the width (strips of equal width are statistically
+  // identical, and every counter is extensive in the number of blocks).
+  std::vector<int> widths;
+  for (int w = 1; w <= tile_rows; w *= 2) widths.push_back(w);
+  if (widths.back() != tile_rows) widths.push_back(tile_rows);
+
+  struct Sample {
+    gpusim::CounterSet counters;
+    double time_ms = 0.0;
+  };
+  const auto run_width = [&](int w, int traversal) {
+    const int diag = w - 1;  // a strip of width w exists at this diagonal
+    const NwDiagonalKernel kernel(seq_len, diag, w, traversal);
+    const gpusim::RunResult r = device.run(kernel, opts);
+    Sample s;
+    s.counters = r.counters;
+    s.time_ms = r.time_ms;
+    return s;
+  };
+
+  gpusim::AggregateResult agg;
+  for (int traversal = 1; traversal <= 2; ++traversal) {
+    std::map<int, Sample> samples;
+    for (int w : widths) samples[w] = run_width(w, traversal);
+
+    const auto interpolate = [&](int w) -> Sample {
+      const auto hi = samples.lower_bound(w);
+      BF_CHECK(hi != samples.end());
+      if (hi->first == w) return hi->second;
+      auto lo = hi;
+      --lo;
+      const double t = static_cast<double>(w - lo->first) /
+                       static_cast<double>(hi->first - lo->first);
+      Sample out = lo->second;
+      out.counters.scale(1.0 - t);
+      gpusim::CounterSet hi_part = hi->second.counters;
+      hi_part.scale(t);
+      out.counters.accumulate(hi_part);
+      out.time_ms = (1.0 - t) * lo->second.time_ms + t * hi->second.time_ms;
+      return out;
+    };
+
+    // Traversal 1 launches strips 1..tile_rows; traversal 2 launches
+    // tile_rows-1..1 (the Rodinia loop bounds).
+    const int max_w = traversal == 1 ? tile_rows : tile_rows - 1;
+    for (int w = 1; w <= max_w; ++w) {
+      const Sample s = interpolate(w);
+      gpusim::RunResult pseudo;
+      pseudo.counters = s.counters;
+      pseudo.time_ms = s.time_ms;
+      agg.add(pseudo);
+    }
+  }
+  return agg;
+}
+
+}  // namespace bf::kernels

@@ -1,0 +1,63 @@
+// Needleman-Wunsch sequence alignment, after the Rodinia GPU
+// implementation (`needle`) analysed in the paper's §6.1.2:
+//  - the (len+1)^2 score matrix is processed in 16x16 tiles along
+//    anti-diagonal strips, one kernel launch per strip;
+//  - kernel 1 walks strips from the top-left, kernel 2 from the
+//    bottom-right;
+//  - each thread block has only BLOCK_SIZE = 16 threads (half a warp), so
+//    occupancy is low and warps run partially masked;
+//  - within a tile, threads sweep 2*16-1 diagonals with a __syncthreads()
+//    per step; the anti-diagonal shared-memory indexing causes bank
+//    conflicts, and the west-column global loads are uncoalesced — the
+//    exact bottleneck signature (l1_global_load_miss +
+//    l1_shared_bank_conflict) the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/engine.hpp"
+#include "gpusim/trace.hpp"
+
+namespace bf::kernels {
+
+inline constexpr int kNwBlockSize = 16;
+
+/// One strip launch: `num_blocks` tiles along anti-diagonal `diag` of the
+/// tile grid (tile_cols tiles per matrix row).
+class NwDiagonalKernel final : public gpusim::TraceKernel {
+ public:
+  /// traversal = 1 (top-left) or 2 (bottom-right).
+  NwDiagonalKernel(int seq_len, int diag, int num_blocks, int traversal);
+
+  std::string name() const override;
+  gpusim::LaunchGeometry geometry() const override;
+  void emit_warp(int block, int warp, gpusim::TraceSink& sink) const override;
+
+ private:
+  int seq_len_;
+  int diag_;
+  int blocks_;
+  int traversal_;
+  int cols_;  // seq_len + 1
+  std::uint32_t ref_base_ = 0;
+  std::uint32_t matrix_base_ = 0;
+};
+
+/// Functional reference: fill the NW score matrix for the given
+/// substitution scores (row-major (n+1)^2 `reference`, border = gap
+/// penalties) and return it. Used to validate the tiled traversal order.
+std::vector<int> nw_reference(const std::vector<int>& reference, int n,
+                              int penalty);
+
+/// Host driver: run the whole NW application for sequences of `seq_len`
+/// (must be a multiple of 16): 2*(seq_len/16)-1 strip launches per
+/// traversal, both traversals. Launch counters for large strips are
+/// interpolated from a sampled ladder of strip widths (documented
+/// substitution: strips of equal width are statistically identical, so a
+/// piecewise-linear model over width loses almost nothing and saves
+/// thousands of launches).
+gpusim::AggregateResult simulate_nw(const gpusim::Device& device, int seq_len,
+                                    const gpusim::RunOptions& opts = {});
+
+}  // namespace bf::kernels

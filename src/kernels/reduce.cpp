@@ -1,0 +1,338 @@
+#include "kernels/reduce.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "kernels/kernel_base.hpp"
+
+namespace bf::kernels {
+
+using gpusim::LaunchGeometry;
+using gpusim::Op;
+using gpusim::TraceSink;
+
+namespace {
+
+constexpr int kMaxGridReduce6 = 64;  // the SDK's maxBlocks for reduce6
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+ReduceKernel::ReduceKernel(int variant, std::int64_t n, int block_size,
+                           int grid_blocks)
+    : variant_(variant), n_(n), block_(block_size) {
+  BF_CHECK_MSG(variant >= 0 && variant <= 7, "reduce variant out of range");
+  BF_CHECK_MSG(n >= 1, "empty reduction");
+  BF_CHECK_MSG(block_size >= 64 && (block_size & (block_size - 1)) == 0,
+               "block size must be a power of two >= 64 (the SDK kernels "
+               "unroll the last warp)");
+  std::int64_t grid;
+  if (variant <= 2) {
+    grid = ceil_div(n, block_size);
+  } else if (variant <= 5) {
+    grid = ceil_div(n, 2ll * block_size);
+  } else {  // 6 and 7: grid-stride loop with the SDK's block cap
+    grid = grid_blocks > 0
+               ? grid_blocks
+               : std::min<std::int64_t>(kMaxGridReduce6,
+                                        ceil_div(n, 2ll * block_size));
+  }
+  grid_ = static_cast<int>(std::max<std::int64_t>(1, grid));
+
+  AddressSpace mem;
+  in_base_ = mem.alloc(static_cast<std::uint64_t>(n) * 4);
+  out_base_ = mem.alloc(static_cast<std::uint64_t>(grid_) * 4);
+}
+
+std::string ReduceKernel::name() const {
+  return "reduce" + std::to_string(variant_);
+}
+
+LaunchGeometry ReduceKernel::geometry() const {
+  LaunchGeometry g;
+  g.grid_x = grid_;
+  g.block_x = block_;
+  g.shared_mem_per_block = block_ * 4;
+  // Register pressure grows along the ladder (running sum, unrolled
+  // temporaries); values match typical nvcc allocations for these kernels.
+  static constexpr int kRegs[8] = {10, 10, 10, 12, 14, 16, 18, 20};
+  g.registers_per_thread = kRegs[variant_];
+  return g;
+}
+
+void ReduceKernel::emit_warp(int block, int warp, TraceSink& sink) const {
+  const int lanes_in_warp =
+      std::max(0, std::min(32, block_ - warp * 32));
+  if (lanes_in_warp <= 0) return;
+  const std::uint32_t scope = gpusim::mask_first_lanes(lanes_in_warp);
+
+  emit_load_phase(block, warp, scope, sink);
+  if (variant_ == 7) {
+    emit_shuffle_phase(block, warp, scope, sink);
+    return;
+  }
+  sink.sync();
+  emit_tree_phase(block, warp, scope, sink);
+  emit_store_phase(block, warp, sink);
+}
+
+void ReduceKernel::emit_load_phase(int block, int warp, std::uint32_t scope,
+                                   TraceSink& sink) const {
+  const auto tid = [&](int lane) { return warp * 32 + lane; };
+
+  if (variant_ <= 2) {
+    // unsigned i = blockIdx.x * blockDim.x + threadIdx.x;
+    // sdata[tid] = (i < n) ? g_idata[i] : 0;
+    sink.alu(scope, 2, Op::kIAlu);
+    const std::uint32_t active = scope & mask_where([&](int lane) {
+      return static_cast<std::int64_t>(block) * block_ + tid(lane) < n_;
+    });
+    if (active != 0) {
+      sink.global_load(active, lane_addrs([&](int lane) {
+        return in_base_ +
+               4u * static_cast<std::uint32_t>(
+                        static_cast<std::int64_t>(block) * block_ +
+                        tid(lane));
+      }));
+    }
+    sink.shared_store(scope, lane_addrs([&](int lane) {
+      return 4u * static_cast<std::uint32_t>(tid(lane));
+    }));
+    return;
+  }
+
+  if (variant_ <= 5) {
+    // unsigned i = blockIdx.x * (blockDim.x * 2) + threadIdx.x;
+    // sdata[tid] = g_idata[i] + g_idata[i + blockDim.x];
+    sink.alu(scope, 2, Op::kIAlu);
+    const auto idx = [&](int lane) {
+      return static_cast<std::int64_t>(block) * block_ * 2 + tid(lane);
+    };
+    const std::uint32_t a1 =
+        scope & mask_where([&](int lane) { return idx(lane) < n_; });
+    const std::uint32_t a2 = scope & mask_where([&](int lane) {
+      return idx(lane) + block_ < n_;
+    });
+    if (a1 != 0) {
+      sink.global_load(a1, lane_addrs([&](int lane) {
+        return in_base_ + 4u * static_cast<std::uint32_t>(idx(lane));
+      }));
+    }
+    if (a2 != 0) {
+      sink.global_load(a2, lane_addrs([&](int lane) {
+        return in_base_ +
+               4u * static_cast<std::uint32_t>(idx(lane) + block_);
+      }));
+      sink.alu(a2, 1, Op::kFAlu);
+    }
+    sink.shared_store(scope, lane_addrs([&](int lane) {
+      return 4u * static_cast<std::uint32_t>(tid(lane));
+    }));
+    return;
+  }
+
+  // reduce6/7: grid-stride accumulation loop.
+  // unsigned i = blockIdx.x * blockSize * 2 + tid;
+  // unsigned gridSize = blockSize * 2 * gridDim.x;
+  // while (i < n) { mySum += g_idata[i];
+  //                 if (i + blockSize < n) mySum += g_idata[i+blockSize];
+  //                 i += gridSize; }
+  sink.alu(scope, 3, Op::kIAlu);
+  const std::int64_t grid_stride =
+      static_cast<std::int64_t>(block_) * 2 * grid_;
+  std::int64_t base = static_cast<std::int64_t>(block) * block_ * 2;
+  while (true) {
+    const std::uint32_t a1 = scope & mask_where([&](int lane) {
+      return base + tid(lane) < n_;
+    });
+    sink.branch(scope, diverges(a1, scope));
+    if (a1 == 0) break;
+    sink.global_load(a1, lane_addrs([&](int lane) {
+      return in_base_ +
+             4u * static_cast<std::uint32_t>(base + tid(lane));
+    }));
+    sink.alu(a1, 1, Op::kFAlu);
+    const std::uint32_t a2 = scope & mask_where([&](int lane) {
+      return base + tid(lane) + block_ < n_;
+    });
+    if (a2 != 0) {
+      sink.global_load(a2, lane_addrs([&](int lane) {
+        return in_base_ +
+               4u * static_cast<std::uint32_t>(base + tid(lane) + block_);
+      }));
+      sink.alu(a2, 1, Op::kFAlu);
+    }
+    sink.alu(scope, 1, Op::kIAlu);  // i += gridSize
+    base += grid_stride;
+  }
+  if (variant_ == 7) return;  // partial sums stay in registers
+  sink.shared_store(scope, lane_addrs([&](int lane) {
+    return 4u * static_cast<std::uint32_t>(tid(lane));
+  }));
+}
+
+void ReduceKernel::emit_tree_phase(int /*block*/, int warp,
+                                   std::uint32_t scope,
+                                   TraceSink& sink) const {
+  const auto tid = [&](int lane) { return warp * 32 + lane; };
+
+  const auto emit_level = [&](std::uint32_t active,
+                              auto&& index_of, int stride) {
+    if (active == 0) return;
+    sink.shared_load(active, lane_addrs([&](int lane) {
+      return 4u * static_cast<std::uint32_t>(index_of(lane));
+    }));
+    sink.shared_load(active, lane_addrs([&](int lane) {
+      return 4u * static_cast<std::uint32_t>(index_of(lane) + stride);
+    }));
+    sink.alu(active, 1, Op::kFAlu);
+    sink.shared_store(active, lane_addrs([&](int lane) {
+      return 4u * static_cast<std::uint32_t>(index_of(lane));
+    }));
+  };
+
+  if (variant_ == 0) {
+    // for (s = 1; s < blockDim; s *= 2)
+    //   if (tid % (2*s) == 0) sdata[tid] += sdata[tid + s];
+    for (int s = 1; s < block_; s *= 2) {
+      sink.alu(scope, 3, Op::kIAlu);  // modulo test is expensive
+      const std::uint32_t active = scope & mask_where([&](int lane) {
+        return tid(lane) % (2 * s) == 0;
+      });
+      sink.branch(scope, diverges(active, scope));
+      emit_level(active, tid, s);
+      sink.sync();
+    }
+    return;
+  }
+
+  if (variant_ == 1) {
+    // for (s = 1; s < blockDim; s *= 2) {
+    //   int index = 2 * s * tid;
+    //   if (index < blockDim) sdata[index] += sdata[index + s]; }
+    for (int s = 1; s < block_; s *= 2) {
+      sink.alu(scope, 2, Op::kIAlu);
+      const auto index = [&](int lane) { return 2 * s * tid(lane); };
+      const std::uint32_t active = scope & mask_where([&](int lane) {
+        return index(lane) < block_;
+      });
+      sink.branch(scope, diverges(active, scope));
+      emit_level(active, index, s);
+      sink.sync();
+    }
+    return;
+  }
+
+  // Variants 2+ all use sequential addressing for the shared tree:
+  // for (s = blockDim/2; s > s_min; s >>= 1)
+  //   if (tid < s) sdata[tid] += sdata[tid + s];
+  const int s_min = (variant_ >= 4) ? 32 : 0;
+  for (int s = block_ / 2; s > s_min; s >>= 1) {
+    // reduce5/6 unroll the loop completely: no induction-variable update.
+    if (variant_ <= 4) sink.alu(scope, 1, Op::kIAlu);
+    const std::uint32_t active =
+        scope & mask_where([&](int lane) { return tid(lane) < s; });
+    sink.branch(scope, diverges(active, scope));
+    emit_level(active, tid, s);
+    sink.sync();
+  }
+  if (variant_ >= 4) {
+    emit_last_warp_unroll(warp, scope, sink);
+  }
+}
+
+void ReduceKernel::emit_last_warp_unroll(int warp, std::uint32_t scope,
+                                         TraceSink& sink) const {
+  // if (tid < 32) warpReduce(sdata, tid):  volatile, warp-synchronous,
+  // no __syncthreads(); all 32 lanes execute each statement.
+  sink.branch(scope, false);
+  if (warp != 0) return;
+  const auto tid = [&](int lane) { return lane; };
+  for (int s = 32; s >= 1; s >>= 1) {
+    if (s >= block_) continue;  // defensive for tiny blocks
+    sink.shared_load(scope, lane_addrs([&](int lane) {
+      return 4u * static_cast<std::uint32_t>(tid(lane) + s);
+    }));
+    sink.alu(scope, 1, Op::kFAlu);
+    sink.shared_store(scope, lane_addrs([&](int lane) {
+      return 4u * static_cast<std::uint32_t>(tid(lane));
+    }));
+  }
+}
+
+void ReduceKernel::emit_shuffle_phase(int block, int warp,
+                                      std::uint32_t scope,
+                                      TraceSink& sink) const {
+  // Warp-level reduction via __shfl_down: five shuffle+add pairs move the
+  // partial sums through registers — no shared-memory tree, no replays.
+  // Shuffles execute on the ALU datapath, so they cost like integer ops.
+  for (int step = 0; step < 5; ++step) {
+    sink.alu(scope, 1, Op::kIAlu);  // __shfl_down
+    sink.alu(scope, 1, Op::kFAlu);  // accumulate
+  }
+  // Each warp's lane 0 publishes one partial to shared memory.
+  sink.branch(scope, true);
+  sink.shared_store(1u, lane_addrs([&](int) {
+    return 4u * static_cast<std::uint32_t>(warp);
+  }));
+  sink.sync();
+  // Warp 0 reduces the per-warp partials (<= 32 of them) the same way.
+  if (warp != 0) return;
+  const int warps_in_block = block_ / 32;
+  const std::uint32_t active =
+      gpusim::mask_first_lanes(std::min(32, warps_in_block));
+  sink.shared_load(active, lane_addrs([&](int lane) {
+    return 4u * static_cast<std::uint32_t>(lane);
+  }));
+  for (int step = 0; step < 5; ++step) {
+    sink.alu(active, 1, Op::kIAlu);
+    sink.alu(active, 1, Op::kFAlu);
+  }
+  // if (tid == 0) g_odata[blockIdx.x] = mySum;
+  sink.branch(active, true);
+  sink.global_store(1u, lane_addrs([&](int) {
+    return out_base_ + 4u * static_cast<std::uint32_t>(block);
+  }));
+}
+
+void ReduceKernel::emit_store_phase(int block, int warp,
+                                    TraceSink& sink) const {
+  if (warp != 0) return;
+  // if (tid == 0) g_odata[blockIdx.x] = sdata[0];
+  const std::uint32_t lane0 = 1u;
+  sink.branch(gpusim::mask_first_lanes(std::min(32, block_)), true);
+  sink.shared_load(lane0, lane_addrs([](int) { return 0u; }));
+  sink.global_store(lane0, lane_addrs([&](int) {
+    return out_base_ + 4u * static_cast<std::uint32_t>(block);
+  }));
+}
+
+double reduce_reference(const std::vector<double>& values) {
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc;
+}
+
+gpusim::AggregateResult simulate_reduction(const gpusim::Device& device,
+                                           int variant, std::int64_t n,
+                                           int block_size,
+                                           const gpusim::RunOptions& opts) {
+  gpusim::AggregateResult agg;
+  std::int64_t remaining = n;
+  while (remaining > 1) {
+    const ReduceKernel kernel(variant, remaining, block_size);
+    const gpusim::RunResult result = device.run(kernel, opts);
+    agg.add(result);
+    const std::int64_t next = kernel.output_elems();
+    BF_CHECK_MSG(next < remaining,
+                 "reduction failed to make progress at n=" << remaining);
+    remaining = next;
+  }
+  return agg;
+}
+
+}  // namespace bf::kernels

@@ -1,0 +1,73 @@
+// The CUDA SDK parallel-reduction optimisation ladder (Harris, "Optimizing
+// Parallel Reduction in CUDA"), kernels reduce0 .. reduce6.
+//
+// The paper's §5 analyses reduce1 (strided shared-memory indexing → bank
+// conflicts), reduce2 (sequential addressing → idle threads) and reduce6
+// (fully optimised, multiple elements per thread). We implement the whole
+// ladder so the optimisation story can be reproduced end to end:
+//   reduce0  interleaved addressing, modulo test        -> divergence
+//   reduce1  interleaved addressing, strided index      -> bank conflicts
+//   reduce2  sequential addressing                      -> idle threads
+//   reduce3  first add during global load               -> halved blocks
+//   reduce4  unroll the last warp                       -> fewer syncs
+//   reduce5  completely unrolled loop                   -> less overhead
+//   reduce6  multiple elements per thread (grid-stride) -> full throughput
+//   reduce7  warp-shuffle reduction (Kepler-era SDK): no shared-memory
+//            tree at all — partial sums travel through registers
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/engine.hpp"
+#include "gpusim/trace.hpp"
+
+namespace bf::kernels {
+
+/// One launch of a reduction kernel over `n` input elements.
+class ReduceKernel final : public gpusim::TraceKernel {
+ public:
+  /// `variant` in [0,7]. For variants 6 and 7, `grid_blocks` fixes the
+  /// grid (the SDK caps it at 64); other variants derive the grid from n.
+  ReduceKernel(int variant, std::int64_t n, int block_size,
+               int grid_blocks = 0);
+
+  std::string name() const override;
+  gpusim::LaunchGeometry geometry() const override;
+  void emit_warp(int block, int warp, gpusim::TraceSink& sink) const override;
+
+  int variant() const { return variant_; }
+  /// Number of partial sums this launch produces (= grid blocks).
+  std::int64_t output_elems() const { return geometry().num_blocks(); }
+
+ private:
+  void emit_load_phase(int block, int warp, std::uint32_t warp_scope,
+                       gpusim::TraceSink& sink) const;
+  void emit_tree_phase(int block, int warp, std::uint32_t warp_scope,
+                       gpusim::TraceSink& sink) const;
+  void emit_last_warp_unroll(int warp, std::uint32_t warp_scope,
+                             gpusim::TraceSink& sink) const;
+  void emit_shuffle_phase(int block, int warp, std::uint32_t warp_scope,
+                          gpusim::TraceSink& sink) const;
+  void emit_store_phase(int block, int warp, gpusim::TraceSink& sink) const;
+
+  int variant_;
+  std::int64_t n_;
+  int block_;
+  int grid_;
+  std::uint32_t in_base_ = 0;
+  std::uint32_t out_base_ = 0;
+};
+
+/// Functional reference: what the GPU kernels compute (for correctness
+/// tests of the launch/grid math).
+double reduce_reference(const std::vector<double>& values);
+
+/// Host-side driver: run the full multi-launch reduction of `n` elements
+/// (kernel launches until one value remains) and aggregate counters/time,
+/// as nvprof aggregates over an application run.
+gpusim::AggregateResult simulate_reduction(const gpusim::Device& device,
+                                           int variant, std::int64_t n,
+                                           int block_size = 256,
+                                           const gpusim::RunOptions& opts = {});
+
+}  // namespace bf::kernels

@@ -1,0 +1,52 @@
+// CSR sparse matrix-vector multiply — the irregular-access workload
+// class. One thread per row (the scalar CSR kernel): the gather loads
+// x[col[j]] scatter across memory, and row-length variance produces
+// intra-warp divergence/imbalance. Both effects are controlled by the
+// synthetic sparsity pattern, so the bottleneck dial is explicit:
+//   - `avg_nnz_per_row` sets the arithmetic intensity,
+//   - `row_skew` in [0,1] moves nnz from uniform rows to a heavy head
+//     (imbalance -> divergence, idle lanes),
+//   - `locality` in [0,1] concentrates column indices near the diagonal
+//     (gather coalescing/cache behaviour).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/engine.hpp"
+#include "gpusim/trace.hpp"
+
+namespace bf::kernels {
+
+struct SpmvPattern {
+  int avg_nnz_per_row = 16;
+  double row_skew = 0.0;
+  double locality = 0.5;
+};
+
+class SpmvCsrKernel final : public gpusim::TraceKernel {
+ public:
+  SpmvCsrKernel(int rows, const SpmvPattern& pattern, int block_size = 256);
+
+  std::string name() const override { return "spmv_csr_scalar"; }
+  gpusim::LaunchGeometry geometry() const override;
+  void emit_warp(int block, int warp, gpusim::TraceSink& sink) const override;
+
+  /// Synthetic pattern accessors (deterministic in the row index).
+  int nnz_of_row(std::int64_t row) const;
+  std::int64_t col_of(std::int64_t row, int j) const;
+  std::int64_t total_nnz() const;
+
+ private:
+  int rows_;
+  SpmvPattern pattern_;
+  int block_;
+  std::uint32_t val_base_, col_base_, rowptr_base_, x_base_, y_base_;
+};
+
+/// Functional reference for the synthetic pattern: y = A*x where
+/// A[row][col_of(row,j)] = 1 for each stored element.
+std::vector<double> spmv_reference(const SpmvCsrKernel& kernel, int rows,
+                                   const std::vector<double>& x);
+
+}  // namespace bf::kernels

@@ -1,0 +1,89 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace bf::linalg {
+
+EigenResult symmetric_eigen(const Matrix& a, int max_sweeps, double tol) {
+  const std::size_t n = a.rows();
+  BF_CHECK_MSG(a.cols() == n, "symmetric_eigen needs a square matrix");
+  BF_CHECK_MSG(n > 0, "empty matrix");
+
+  // Symmetrise to absorb accumulation-order noise.
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) s(i, j) = 0.5 * (a(i, j) + a(j, i));
+  }
+  Matrix v = Matrix::identity(n);
+
+  const double scale = std::max(1.0, s.frobenius_norm());
+  int sweeps = 0;
+  for (; sweeps < max_sweeps; ++sweeps) {
+    // Off-diagonal magnitude.
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += s(i, j) * s(i, j);
+    }
+    if (std::sqrt(off) <= tol * scale) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = s(p, q);
+        if (std::fabs(apq) <= tol * scale * 1e-3) continue;
+        const double app = s(p, p);
+        const double aqq = s(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable rotation: t = sign(theta) / (|theta| + sqrt(theta^2 + 1)).
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double sn = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double skp = s(k, p);
+          const double skq = s(k, q);
+          s(k, p) = c * skp - sn * skq;
+          s(k, q) = sn * skp + c * skq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double spk = s(p, k);
+          const double sqk = s(q, k);
+          s(p, k) = c * spk - sn * sqk;
+          s(q, k) = sn * spk + c * sqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - sn * vkq;
+          v(k, q) = sn * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  BF_CHECK_MSG(sweeps < max_sweeps,
+               "Jacobi eigensolver failed to converge in " << max_sweeps
+                                                           << " sweeps");
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return s(i, i) > s(j, j);
+  });
+
+  EigenResult out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = s(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  out.sweeps = sweeps;
+  return out;
+}
+
+}  // namespace bf::linalg

@@ -1,0 +1,28 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// PCA needs all eigenpairs of a (small) covariance matrix; Jacobi is exact
+// enough, simple, and unconditionally stable for symmetric input.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace bf::linalg {
+
+struct EigenResult {
+  /// Eigenvalues sorted in descending order.
+  std::vector<double> values;
+  /// Column j of `vectors` is the unit eigenvector for values[j].
+  Matrix vectors;
+  /// Number of Jacobi sweeps performed until convergence.
+  int sweeps = 0;
+};
+
+/// Eigendecomposition of a symmetric matrix. The input is symmetrised as
+/// (A + A^T)/2 first, so tiny asymmetries from accumulation order are
+/// tolerated. Throws bf::Error if `a` is not square or fails to converge.
+EigenResult symmetric_eigen(const Matrix& a, int max_sweeps = 64,
+                            double tol = 1e-12);
+
+}  // namespace bf::linalg

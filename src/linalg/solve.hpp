@@ -1,0 +1,33 @@
+// Linear solvers: Cholesky for SPD systems and Householder QR least squares.
+//
+// OLS/GLM and MARS fit through qr_least_squares (numerically safer than
+// normal equations when counter columns are nearly collinear, which happens
+// constantly with raw GPU event counts).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace bf::linalg {
+
+/// Solve A x = b for symmetric positive definite A via Cholesky.
+/// Throws bf::Error if A is not SPD (within a small pivot tolerance).
+std::vector<double> cholesky_solve(const Matrix& a,
+                                   const std::vector<double>& b);
+
+/// Result of a least-squares solve.
+struct LeastSquaresResult {
+  std::vector<double> coefficients;  ///< minimiser of ||A x - b||_2
+  double residual_norm = 0.0;        ///< ||A x - b||_2 at the minimiser
+  std::size_t rank = 0;              ///< numerical rank of A
+};
+
+/// Minimise ||A x - b||_2 with Householder QR and column pivoting.
+/// Rank-deficient columns get zero coefficients (minimum-norm-ish solution
+/// restricted to the pivoted basis), which keeps MARS stable when candidate
+/// hinge bases are collinear.
+LeastSquaresResult qr_least_squares(const Matrix& a,
+                                    const std::vector<double>& b);
+
+}  // namespace bf::linalg

@@ -1,0 +1,60 @@
+#include "ml/cv.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "ml/metrics.hpp"
+
+namespace bf::ml {
+
+CvResult kfold_cv(
+    const Dataset& ds, const std::string& response, std::size_t folds,
+    Rng& rng,
+    const std::function<std::vector<double>(const Dataset&,
+                                            const Dataset&)>& fit_predict) {
+  const std::size_t n = ds.num_rows();
+  BF_CHECK_MSG(folds >= 2, "need at least 2 folds");
+  BF_CHECK_MSG(n >= folds, "need at least one row per fold");
+  BF_CHECK_MSG(ds.has_column(response), "missing response column");
+  BF_CHECK_MSG(static_cast<bool>(fit_predict), "missing fit_predict");
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+
+  CvResult out;
+  out.predictions.assign(n, std::numeric_limits<double>::quiet_NaN());
+  const auto& truth = ds.column(response);
+
+  for (std::size_t f = 0; f < folds; ++f) {
+    std::vector<std::size_t> train_rows;
+    std::vector<std::size_t> test_rows;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % folds == f) {
+        test_rows.push_back(order[i]);
+      } else {
+        train_rows.push_back(order[i]);
+      }
+    }
+    const Dataset train = ds.select_rows(train_rows);
+    const Dataset test = ds.select_rows(test_rows);
+    const auto pred = fit_predict(train, test);
+    BF_CHECK_MSG(pred.size() == test_rows.size(),
+                 "fit_predict returned " << pred.size() << " predictions for "
+                                         << test_rows.size() << " rows");
+    std::vector<double> fold_truth;
+    for (std::size_t i = 0; i < test_rows.size(); ++i) {
+      out.predictions[test_rows[i]] = pred[i];
+      fold_truth.push_back(truth[test_rows[i]]);
+    }
+    out.fold_mse.push_back(mse(fold_truth, pred));
+  }
+
+  out.mean_mse = mean(out.fold_mse);
+  out.sd_mse = sample_sd(out.fold_mse);
+  return out;
+}
+
+}  // namespace bf::ml

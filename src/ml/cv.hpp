@@ -1,0 +1,35 @@
+// K-fold cross-validation over a Dataset, model-agnostic.
+//
+// The paper leaves "a less empirical way to determine the ideal size" of
+// the training set as future work; cross-validated error over candidate
+// collection sizes is the standard answer, and this helper powers it.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+
+namespace bf::ml {
+
+struct CvResult {
+  /// Per-fold MSE on the held-out fold.
+  std::vector<double> fold_mse;
+  double mean_mse = 0.0;
+  double sd_mse = 0.0;
+  /// Pooled out-of-fold predictions aligned with the dataset rows.
+  std::vector<double> predictions;
+};
+
+/// `fit_predict(train, test)` must fit a model on `train` and return
+/// predictions for the rows of `test`. Rows are shuffled once with `rng`
+/// and dealt into `folds` contiguous groups.
+CvResult kfold_cv(
+    const Dataset& ds, const std::string& response, std::size_t folds,
+    Rng& rng,
+    const std::function<std::vector<double>(const Dataset& train,
+                                            const Dataset& test)>&
+        fit_predict);
+
+}  // namespace bf::ml

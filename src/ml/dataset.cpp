@@ -1,0 +1,197 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace bf::ml {
+
+void Dataset::add_column(std::string name, std::vector<double> values) {
+  BF_CHECK_MSG(!has_column(name), "duplicate column: " << name);
+  if (!names_.empty()) {
+    BF_CHECK_MSG(values.size() == num_rows(),
+                 "column '" << name << "' has " << values.size()
+                            << " rows, dataset has " << num_rows());
+  }
+  names_.push_back(std::move(name));
+  columns_.push_back(std::move(values));
+}
+
+void Dataset::add_row(const std::vector<double>& values) {
+  BF_CHECK_MSG(values.size() == names_.size(),
+               "row width " << values.size() << " != " << names_.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    columns_[i].push_back(values[i]);
+  }
+}
+
+std::size_t Dataset::num_rows() const {
+  return columns_.empty() ? 0 : columns_.front().size();
+}
+
+bool Dataset::has_column(const std::string& name) const {
+  return std::find(names_.begin(), names_.end(), name) != names_.end();
+}
+
+std::size_t Dataset::column_index(const std::string& name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  BF_CHECK_MSG(it != names_.end(), "no such column: " << name);
+  return static_cast<std::size_t>(it - names_.begin());
+}
+
+const std::vector<double>& Dataset::column(std::size_t i) const {
+  BF_CHECK_MSG(i < columns_.size(), "column index out of range");
+  return columns_[i];
+}
+
+const std::vector<double>& Dataset::column(const std::string& name) const {
+  return columns_[column_index(name)];
+}
+
+std::vector<double>& Dataset::mutable_column(const std::string& name) {
+  return columns_[column_index(name)];
+}
+
+double Dataset::at(std::size_t row, const std::string& name) const {
+  const auto& col = column(name);
+  BF_CHECK_MSG(row < col.size(), "row out of range");
+  return col[row];
+}
+
+Dataset Dataset::select_rows(const std::vector<std::size_t>& rows) const {
+  Dataset out;
+  const std::size_t n = num_rows();
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    std::vector<double> col;
+    col.reserve(rows.size());
+    for (std::size_t r : rows) {
+      BF_CHECK_MSG(r < n, "row index " << r << " out of range");
+      col.push_back(columns_[c][r]);
+    }
+    out.add_column(names_[c], std::move(col));
+  }
+  return out;
+}
+
+Dataset Dataset::select_columns(
+    const std::vector<std::string>& cols) const {
+  Dataset out;
+  for (const auto& name : cols) {
+    out.add_column(name, column(name));
+  }
+  return out;
+}
+
+Dataset Dataset::drop_columns(const std::vector<std::string>& cols) const {
+  Dataset out;
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    if (std::find(cols.begin(), cols.end(), names_[c]) != cols.end()) {
+      continue;
+    }
+    out.add_column(names_[c], columns_[c]);
+  }
+  return out;
+}
+
+std::vector<std::string> Dataset::drop_constant_columns(double tol) {
+  std::vector<std::string> dropped;
+  std::vector<std::string> kept_names;
+  std::vector<std::vector<double>> kept_cols;
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    const auto& col = columns_[c];
+    const auto [mn, mx] = std::minmax_element(col.begin(), col.end());
+    const double spread = (col.empty()) ? 0.0 : (*mx - *mn);
+    if (spread <= tol) {
+      dropped.push_back(names_[c]);
+    } else {
+      kept_names.push_back(names_[c]);
+      kept_cols.push_back(std::move(columns_[c]));
+    }
+  }
+  names_ = std::move(kept_names);
+  columns_ = std::move(kept_cols);
+  return dropped;
+}
+
+linalg::Matrix Dataset::to_matrix(
+    const std::vector<std::string>& features) const {
+  linalg::Matrix x(num_rows(), features.size());
+  for (std::size_t j = 0; j < features.size(); ++j) {
+    const auto& col = column(features[j]);
+    for (std::size_t i = 0; i < col.size(); ++i) x(i, j) = col[i];
+  }
+  return x;
+}
+
+Dataset Dataset::concat(const Dataset& a, const Dataset& b) {
+  BF_CHECK_MSG(a.names_ == b.names_,
+               "concat requires identical schemas");
+  Dataset out;
+  for (std::size_t c = 0; c < a.names_.size(); ++c) {
+    std::vector<double> col = a.columns_[c];
+    col.insert(col.end(), b.columns_[c].begin(), b.columns_[c].end());
+    out.add_column(a.names_[c], std::move(col));
+  }
+  return out;
+}
+
+CsvTable Dataset::to_csv() const {
+  CsvTable table(names_);
+  const std::size_t n = num_rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<std::string> row;
+    row.reserve(names_.size());
+    for (std::size_t c = 0; c < names_.size(); ++c) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", columns_[c][r]);
+      row.emplace_back(buf);
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Dataset Dataset::from_csv(const CsvTable& table) {
+  Dataset out;
+  for (std::size_t c = 0; c < table.num_cols(); ++c) {
+    std::vector<double> col;
+    col.reserve(table.num_rows());
+    for (std::size_t r = 0; r < table.num_rows(); ++r) {
+      col.push_back(table.cell_as_double(r, c));
+    }
+    out.add_column(table.header()[c], std::move(col));
+  }
+  return out;
+}
+
+TrainTestSplit train_test_split(const Dataset& ds, double test_fraction,
+                                Rng& rng) {
+  BF_CHECK_MSG(test_fraction >= 0.0 && test_fraction < 1.0,
+               "test_fraction must be in [0,1)");
+  const std::size_t n = ds.num_rows();
+  BF_CHECK_MSG(n >= 2, "need at least 2 rows to split");
+  std::size_t n_test =
+      static_cast<std::size_t>(std::llround(test_fraction * static_cast<double>(n)));
+  if (test_fraction > 0.0) n_test = std::max<std::size_t>(1, n_test);
+  n_test = std::min(n_test, n - 1);
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+
+  TrainTestSplit out;
+  out.test_indices.assign(order.begin(),
+                          order.begin() + static_cast<std::ptrdiff_t>(n_test));
+  out.train_indices.assign(order.begin() + static_cast<std::ptrdiff_t>(n_test),
+                           order.end());
+  std::sort(out.test_indices.begin(), out.test_indices.end());
+  std::sort(out.train_indices.begin(), out.train_indices.end());
+  out.train = ds.select_rows(out.train_indices);
+  out.test = ds.select_rows(out.test_indices);
+  return out;
+}
+
+}  // namespace bf::ml

@@ -1,0 +1,82 @@
+// Column-oriented numeric dataset (a tiny data frame).
+//
+// A Dataset is what the profiler sweep produces and what every statistical
+// stage consumes: named double columns of equal length, e.g. one column per
+// hardware performance counter plus "size" and the "time_ms" response.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bf::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Append a named column; all columns must share the same length.
+  void add_column(std::string name, std::vector<double> values);
+
+  /// Append one row given values for every existing column (in order).
+  void add_row(const std::vector<double>& values);
+
+  std::size_t num_rows() const;
+  std::size_t num_cols() const { return names_.size(); }
+  bool empty() const { return names_.empty() || num_rows() == 0; }
+
+  const std::vector<std::string>& column_names() const { return names_; }
+  bool has_column(const std::string& name) const;
+  std::size_t column_index(const std::string& name) const;
+
+  const std::vector<double>& column(std::size_t i) const;
+  const std::vector<double>& column(const std::string& name) const;
+  std::vector<double>& mutable_column(const std::string& name);
+
+  double at(std::size_t row, const std::string& name) const;
+
+  /// New dataset with the given rows (indices may repeat — bootstrap).
+  Dataset select_rows(const std::vector<std::size_t>& rows) const;
+
+  /// New dataset restricted to the named columns, in the given order.
+  Dataset select_columns(const std::vector<std::string>& cols) const;
+
+  /// New dataset without the named columns.
+  Dataset drop_columns(const std::vector<std::string>& cols) const;
+
+  /// Drop columns whose values are (numerically) constant; returns the
+  /// names that were removed. Constant counters carry no information for
+  /// the forest and break permutation importance.
+  std::vector<std::string> drop_constant_columns(double tol = 1e-12);
+
+  /// Row-major design matrix over the named feature columns.
+  linalg::Matrix to_matrix(const std::vector<std::string>& features) const;
+
+  /// Vertically concatenate two datasets with identical schemas.
+  static Dataset concat(const Dataset& a, const Dataset& b);
+
+  CsvTable to_csv() const;
+  static Dataset from_csv(const CsvTable& table);
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> columns_;
+};
+
+/// An 80:20-style random split, as used throughout the paper.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+  std::vector<std::size_t> train_indices;
+  std::vector<std::size_t> test_indices;
+};
+
+/// Uniformly sample `test_fraction` of the rows (at least 1 when the
+/// dataset has >= 2 rows) into the test set; the rest train.
+TrainTestSplit train_test_split(const Dataset& ds, double test_fraction,
+                                Rng& rng);
+
+}  // namespace bf::ml

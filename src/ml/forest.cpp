@@ -1,0 +1,474 @@
+#include "ml/forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <fstream>
+#include <mutex>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "ml/metrics.hpp"
+
+namespace bf::ml {
+namespace {
+
+// Per-tree training artefacts gathered before cross-tree aggregation.
+struct TreeFitResult {
+  RegressionTree tree;
+  std::vector<std::size_t> oob_rows;
+  // OOB MSE increase per permuted feature, and the baseline OOB MSE.
+  std::vector<double> perm_increase;
+  double oob_mse = 0.0;
+};
+
+TreeFitResult fit_one_tree(const linalg::Matrix& x,
+                           const std::vector<double>& y,
+                           const TreeParams& tree_params, bool importance,
+                           Rng rng) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  TreeFitResult out;
+
+  const std::vector<std::size_t> sample = rng.bootstrap_indices(n);
+  std::vector<bool> in_bag(n, false);
+  for (std::size_t r : sample) in_bag[r] = true;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!in_bag[r]) out.oob_rows.push_back(r);
+  }
+
+  out.tree.fit(x, y, sample, tree_params, rng);
+
+  if (!importance || out.oob_rows.empty()) return out;
+
+  // Baseline OOB error for this tree.
+  std::vector<double> oob_true;
+  std::vector<double> oob_pred;
+  oob_true.reserve(out.oob_rows.size());
+  oob_pred.reserve(out.oob_rows.size());
+  for (std::size_t r : out.oob_rows) {
+    oob_true.push_back(y[r]);
+    oob_pred.push_back(out.tree.predict_row(x.row_ptr(r)));
+  }
+  out.oob_mse = mse(oob_true, oob_pred);
+
+  // Permute each feature among the OOB rows and re-measure.
+  out.perm_increase.assign(p, 0.0);
+  std::vector<double> row(p);
+  std::vector<std::size_t> perm(out.oob_rows.size());
+  for (std::size_t f = 0; f < p; ++f) {
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    rng.shuffle(perm);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < out.oob_rows.size(); ++i) {
+      const std::size_t r = out.oob_rows[i];
+      const std::size_t donor = out.oob_rows[perm[i]];
+      const double* src = x.row_ptr(r);
+      std::copy(src, src + p, row.begin());
+      row[f] = x(donor, f);
+      const double d = y[r] - out.tree.predict_row(row.data());
+      acc += d * d;
+    }
+    const double permuted_mse =
+        acc / static_cast<double>(out.oob_rows.size());
+    out.perm_increase[f] = permuted_mse - out.oob_mse;
+  }
+  return out;
+}
+
+}  // namespace
+
+void RandomForest::fit(const linalg::Matrix& x, const std::vector<double>& y,
+                       std::vector<std::string> feature_names,
+                       const ForestParams& params) {
+  BF_CHECK_MSG(x.rows() == y.size(), "X/y row mismatch");
+  BF_CHECK_MSG(x.rows() >= 2, "need at least 2 training rows");
+  BF_CHECK_MSG(feature_names.size() == x.cols(),
+               "feature_names size mismatch: " << feature_names.size()
+                                               << " vs " << x.cols()
+                                               << " columns");
+  BF_CHECK_MSG(params.n_trees >= 1, "need at least one tree");
+
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  feature_names_ = std::move(feature_names);
+  train_x_ = x;
+  train_y_ = y;
+  has_importance_ = params.importance;
+
+  TreeParams tree_params;
+  tree_params.min_node_size = params.min_node_size;
+  tree_params.max_depth = params.max_depth;
+  tree_params.mtry =
+      params.mtry != 0 ? params.mtry : std::max<std::size_t>(1, p / 3);
+
+  Rng master(params.seed);
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(params.n_trees);
+  for (std::size_t t = 0; t < params.n_trees; ++t) {
+    tree_rngs.push_back(master.split());
+  }
+
+  std::vector<TreeFitResult> results(params.n_trees);
+  const auto fit_tree = [&](std::size_t t) {
+    results[t] =
+        fit_one_tree(x, y, tree_params, params.importance, tree_rngs[t]);
+  };
+  if (params.threads <= 1) {
+    for (std::size_t t = 0; t < params.n_trees; ++t) fit_tree(t);
+  } else {
+    ThreadPool pool(params.threads);
+    pool.parallel_for(0, params.n_trees, fit_tree);
+  }
+
+  // Aggregate trees, OOB votes and importance.
+  trees_.clear();
+  trees_.reserve(params.n_trees);
+  std::vector<double> oob_sum(n, 0.0);
+  std::vector<std::size_t> oob_count(n, 0);
+  std::vector<double> imp_sum(p, 0.0);
+  std::vector<double> imp_sq(p, 0.0);
+  std::size_t imp_trees = 0;
+
+  for (auto& res : results) {
+    for (std::size_t r : res.oob_rows) {
+      oob_sum[r] += res.tree.predict_row(x.row_ptr(r));
+      oob_count[r] += 1;
+    }
+    if (!res.perm_increase.empty()) {
+      for (std::size_t f = 0; f < p; ++f) {
+        imp_sum[f] += res.perm_increase[f];
+        imp_sq[f] += res.perm_increase[f] * res.perm_increase[f];
+      }
+      ++imp_trees;
+    }
+    trees_.push_back(std::move(res.tree));
+  }
+
+  oob_predictions_.assign(n, std::numeric_limits<double>::quiet_NaN());
+  std::vector<double> covered_true;
+  std::vector<double> covered_pred;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (oob_count[r] == 0) continue;
+    oob_predictions_[r] = oob_sum[r] / static_cast<double>(oob_count[r]);
+    covered_true.push_back(y[r]);
+    covered_pred.push_back(oob_predictions_[r]);
+  }
+  if (!covered_true.empty()) {
+    oob_mse_ = mse(covered_true, covered_pred);
+    const double var = variance(train_y_);
+    pct_var_explained_ = var > 0.0 ? 100.0 * (1.0 - oob_mse_ / var) : 0.0;
+  } else {
+    oob_mse_ = 0.0;
+    pct_var_explained_ = 0.0;
+  }
+
+  imp_mean_.assign(p, 0.0);
+  imp_sd_.assign(p, 0.0);
+  imp_purity_.assign(p, 0.0);
+  if (params.importance && imp_trees > 0) {
+    const double nt = static_cast<double>(imp_trees);
+    for (std::size_t f = 0; f < p; ++f) {
+      imp_mean_[f] = imp_sum[f] / nt;
+      const double var_f =
+          std::max(0.0, imp_sq[f] / nt - imp_mean_[f] * imp_mean_[f]);
+      imp_sd_[f] = std::sqrt(var_f);
+    }
+    for (const auto& tree : trees_) {
+      const auto purity = tree.impurity_importance(p);
+      for (std::size_t f = 0; f < p; ++f) imp_purity_[f] += purity[f];
+    }
+  }
+}
+
+double RandomForest::predict_row(const double* row) const {
+  BF_CHECK_MSG(fitted(), "predict on unfitted forest");
+  double acc = 0.0;
+  for (const auto& tree : trees_) acc += tree.predict_row(row);
+  return acc / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict(const linalg::Matrix& x) const {
+  BF_CHECK_MSG(x.cols() == feature_names_.size(),
+               "prediction matrix has wrong number of columns");
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out[r] = predict_row(x.row_ptr(r));
+  }
+  return out;
+}
+
+std::vector<VariableImportance> RandomForest::importance() const {
+  BF_CHECK_MSG(fitted(), "importance on unfitted forest");
+  BF_CHECK_MSG(has_importance_,
+               "forest was fitted with importance disabled");
+  const std::size_t p = feature_names_.size();
+  std::vector<VariableImportance> out(p);
+  const double nt = std::sqrt(static_cast<double>(trees_.size()));
+  for (std::size_t f = 0; f < p; ++f) {
+    out[f].name = feature_names_[f];
+    out[f].mean_inc_mse = imp_mean_[f];
+    // R's %IncMSE: mean increase scaled by its standard error over trees.
+    const double se = imp_sd_[f] / nt;
+    out[f].pct_inc_mse = se > 1e-30 ? imp_mean_[f] / se : 0.0;
+    out[f].inc_node_purity = imp_purity_[f];
+  }
+  std::sort(out.begin(), out.end(),
+            [](const VariableImportance& a, const VariableImportance& b) {
+              return a.pct_inc_mse > b.pct_inc_mse;
+            });
+  return out;
+}
+
+std::vector<std::string> RandomForest::top_variables(std::size_t k) const {
+  const auto imp = importance();
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < imp.size() && i < k; ++i) {
+    out.push_back(imp[i].name);
+  }
+  return out;
+}
+
+PredictionInterval RandomForest::predict_interval(const double* row,
+                                                  double alpha) const {
+  BF_CHECK_MSG(fitted(), "predict_interval on unfitted forest");
+  BF_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  std::vector<double> preds;
+  preds.reserve(trees_.size());
+  double acc = 0.0;
+  for (const auto& tree : trees_) {
+    const double v = tree.predict_row(row);
+    preds.push_back(v);
+    acc += v;
+  }
+  std::sort(preds.begin(), preds.end());
+  const auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(preds.size() - 1);
+    const std::size_t i = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(i);
+    if (i + 1 >= preds.size()) return preds.back();
+    return preds[i] * (1.0 - frac) + preds[i + 1] * frac;
+  };
+  PredictionInterval out;
+  out.mean = acc / static_cast<double>(trees_.size());
+  out.lo = quantile(alpha / 2.0);
+  out.hi = quantile(1.0 - alpha / 2.0);
+  return out;
+}
+
+std::vector<PartialDependenceInterval>
+RandomForest::partial_dependence_interval(const std::string& feature,
+                                          std::size_t grid_points,
+                                          double alpha) const {
+  BF_CHECK_MSG(fitted(), "partial_dependence_interval on unfitted forest");
+  BF_CHECK_MSG(grid_points >= 2, "need at least 2 grid points");
+  const auto it =
+      std::find(feature_names_.begin(), feature_names_.end(), feature);
+  BF_CHECK_MSG(it != feature_names_.end(), "unknown feature: " << feature);
+  const std::size_t f =
+      static_cast<std::size_t>(it - feature_names_.begin());
+
+  const std::size_t n = train_x_.rows();
+  const std::size_t p = train_x_.cols();
+  double lo_x = std::numeric_limits<double>::infinity();
+  double hi_x = -lo_x;
+  for (std::size_t r = 0; r < n; ++r) {
+    lo_x = std::min(lo_x, train_x_(r, f));
+    hi_x = std::max(hi_x, train_x_(r, f));
+  }
+
+  std::vector<PartialDependenceInterval> curve(grid_points);
+  std::vector<double> row(p);
+  for (std::size_t g = 0; g < grid_points; ++g) {
+    const double v = lo_x + (hi_x - lo_x) * static_cast<double>(g) /
+                                static_cast<double>(grid_points - 1);
+    // Per tree: the average prediction over the training rows with the
+    // feature clamped; the band is over trees, matching how bagging
+    // variance is usually visualised.
+    std::vector<double> per_tree(trees_.size(), 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* src = train_x_.row_ptr(r);
+      std::copy(src, src + p, row.begin());
+      row[f] = v;
+      for (std::size_t t = 0; t < trees_.size(); ++t) {
+        per_tree[t] += trees_[t].predict_row(row.data());
+      }
+    }
+    for (auto& s : per_tree) s /= static_cast<double>(n);
+    std::sort(per_tree.begin(), per_tree.end());
+    const auto quantile = [&](double q) {
+      const double pos = q * static_cast<double>(per_tree.size() - 1);
+      const std::size_t i = static_cast<std::size_t>(pos);
+      const double frac = pos - static_cast<double>(i);
+      if (i + 1 >= per_tree.size()) return per_tree.back();
+      return per_tree[i] * (1.0 - frac) + per_tree[i + 1] * frac;
+    };
+    double mean = 0.0;
+    for (const double s : per_tree) mean += s;
+    curve[g].x = v;
+    curve[g].y.mean = mean / static_cast<double>(per_tree.size());
+    curve[g].y.lo = quantile(alpha / 2.0);
+    curve[g].y.hi = quantile(1.0 - alpha / 2.0);
+  }
+  return curve;
+}
+
+void RandomForest::save(std::ostream& os) const {
+  BF_CHECK_MSG(fitted(), "save on unfitted forest");
+  os << "bf_forest 1\n";
+  os.precision(17);
+  os << "features " << feature_names_.size();
+  for (const auto& name : feature_names_) os << ' ' << name;
+  os << "\n";
+  os << "stats " << oob_mse_ << ' ' << pct_var_explained_ << ' '
+     << (has_importance_ ? 1 : 0) << "\n";
+  os << "importance";
+  for (std::size_t f = 0; f < imp_mean_.size(); ++f) {
+    os << ' ' << imp_mean_[f] << ' ' << imp_sd_[f] << ' ' << imp_purity_[f];
+  }
+  os << "\n";
+  os << "train " << train_x_.rows() << ' ' << train_x_.cols() << "\n";
+  for (std::size_t r = 0; r < train_x_.rows(); ++r) {
+    for (std::size_t c = 0; c < train_x_.cols(); ++c) {
+      os << train_x_(r, c) << ' ';
+    }
+    os << train_y_[r] << "\n";
+  }
+  // OOB predictions can be NaN (rows never out-of-bag); text streams do
+  // not round-trip NaN portably, so store only the finite entries.
+  std::size_t finite = 0;
+  for (const double v : oob_predictions_) {
+    if (!std::isnan(v)) ++finite;
+  }
+  os << "oob " << finite;
+  for (std::size_t r = 0; r < oob_predictions_.size(); ++r) {
+    if (!std::isnan(oob_predictions_[r])) {
+      os << ' ' << r << ' ' << oob_predictions_[r];
+    }
+  }
+  os << "\n";
+  os << "trees " << trees_.size() << "\n";
+  for (const auto& tree : trees_) tree.save(os);
+}
+
+void RandomForest::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  BF_CHECK_MSG(os.good(), "cannot open for writing: " << path);
+  save(os);
+  BF_CHECK_MSG(os.good(), "write failed: " << path);
+}
+
+RandomForest RandomForest::load(std::istream& is) {
+  RandomForest rf;
+  std::string tag;
+  int version = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> tag >> version) &&
+                   tag == "bf_forest" && version == 1,
+               "not a bf_forest v1 stream");
+  std::size_t p = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> tag >> p) && tag == "features",
+               "malformed features header");
+  rf.feature_names_.resize(p);
+  for (auto& name : rf.feature_names_) {
+    BF_CHECK_MSG(static_cast<bool>(is >> name), "missing feature name");
+  }
+  int has_imp = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> tag >> rf.oob_mse_ >>
+                                 rf.pct_var_explained_ >> has_imp) &&
+                   tag == "stats",
+               "malformed stats");
+  rf.has_importance_ = has_imp != 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> tag) && tag == "importance",
+               "malformed importance");
+  rf.imp_mean_.resize(p);
+  rf.imp_sd_.resize(p);
+  rf.imp_purity_.resize(p);
+  for (std::size_t f = 0; f < p; ++f) {
+    BF_CHECK_MSG(static_cast<bool>(is >> rf.imp_mean_[f] >> rf.imp_sd_[f] >>
+                                   rf.imp_purity_[f]),
+                 "malformed importance row");
+  }
+  std::size_t n = 0;
+  std::size_t cols = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> tag >> n >> cols) && tag == "train" &&
+                   cols == p,
+               "malformed train header");
+  rf.train_x_ = linalg::Matrix(n, p);
+  rf.train_y_.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < p; ++c) {
+      BF_CHECK_MSG(static_cast<bool>(is >> rf.train_x_(r, c)),
+                   "malformed train row");
+    }
+    BF_CHECK_MSG(static_cast<bool>(is >> rf.train_y_[r]),
+                 "malformed train response");
+  }
+  std::size_t finite = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> tag >> finite) && tag == "oob" &&
+                   finite <= n,
+               "malformed oob header");
+  rf.oob_predictions_.assign(n, std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t i = 0; i < finite; ++i) {
+    std::size_t idx = 0;
+    double v = 0.0;
+    BF_CHECK_MSG(static_cast<bool>(is >> idx >> v) && idx < n,
+                 "malformed oob entry");
+    rf.oob_predictions_[idx] = v;
+  }
+  std::size_t n_trees = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> tag >> n_trees) && tag == "trees" &&
+                   n_trees >= 1,
+               "malformed trees header");
+  rf.trees_.reserve(n_trees);
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    rf.trees_.push_back(RegressionTree::load(is));
+  }
+  return rf;
+}
+
+RandomForest RandomForest::load_file(const std::string& path) {
+  std::ifstream is(path);
+  BF_CHECK_MSG(is.good(), "cannot open for reading: " << path);
+  return load(is);
+}
+
+std::vector<PartialDependencePoint> RandomForest::partial_dependence(
+    const std::string& feature, std::size_t grid_points) const {
+  BF_CHECK_MSG(fitted(), "partial_dependence on unfitted forest");
+  BF_CHECK_MSG(grid_points >= 2, "need at least 2 grid points");
+  const auto it =
+      std::find(feature_names_.begin(), feature_names_.end(), feature);
+  BF_CHECK_MSG(it != feature_names_.end(), "unknown feature: " << feature);
+  const std::size_t f =
+      static_cast<std::size_t>(it - feature_names_.begin());
+
+  const std::size_t n = train_x_.rows();
+  const std::size_t p = train_x_.cols();
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (std::size_t r = 0; r < n; ++r) {
+    lo = std::min(lo, train_x_(r, f));
+    hi = std::max(hi, train_x_(r, f));
+  }
+
+  std::vector<PartialDependencePoint> curve(grid_points);
+  std::vector<double> row(p);
+  for (std::size_t g = 0; g < grid_points; ++g) {
+    const double v =
+        lo + (hi - lo) * static_cast<double>(g) /
+                 static_cast<double>(grid_points - 1);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* src = train_x_.row_ptr(r);
+      std::copy(src, src + p, row.begin());
+      row[f] = v;
+      acc += predict_row(row.data());
+    }
+    curve[g].x = v;
+    curve[g].y = acc / static_cast<double>(n);
+  }
+  return curve;
+}
+
+}  // namespace bf::ml

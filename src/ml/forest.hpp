@@ -1,0 +1,143 @@
+// Random-forest regression (Breiman 2001), the core model of BlackForest.
+//
+// Mirrors the semantics of the R randomForest package the paper uses:
+//  - n_trees unpruned CART trees grown on bootstrap samples,
+//  - mtry features considered per split (default max(1, p/3) for regression),
+//  - out-of-bag (OOB) predictions, OOB MSE and "% variance explained",
+//  - permutation variable importance (%IncMSE), computed tree by tree as
+//    the forest is constructed (paper §4.1.1),
+//  - partial dependence of the response on individual predictors.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "ml/tree.hpp"
+
+namespace bf::ml {
+
+struct ForestParams {
+  std::size_t n_trees = 500;
+  /// Features tried per split; 0 = regression default max(1, p/3).
+  std::size_t mtry = 0;
+  std::size_t min_node_size = 5;
+  std::size_t max_depth = 0;
+  /// Whether to compute permutation importance during fit.
+  bool importance = true;
+  std::uint64_t seed = 42;
+  /// Number of worker threads for training (0 = serial).
+  std::size_t threads = 0;
+};
+
+/// Per-variable importance record.
+struct VariableImportance {
+  std::string name;
+  /// Mean increase in OOB MSE when the variable is permuted, divided by its
+  /// standard error over trees — R's "%IncMSE" statistic.
+  double pct_inc_mse = 0.0;
+  /// Raw mean increase in OOB MSE (unnormalised).
+  double mean_inc_mse = 0.0;
+  /// Total SSE decrease at splits on this variable (IncNodePurity).
+  double inc_node_purity = 0.0;
+};
+
+/// One point of a partial-dependence curve.
+struct PartialDependencePoint {
+  double x = 0.0;  ///< value the predictor is clamped to
+  double y = 0.0;  ///< average model prediction over the training rows
+};
+
+/// A forest prediction with an empirical uncertainty band (paper §7:
+/// "Integrating confidence intervals into the partial dependence plots
+/// would help interpretation and confidence in the outcome").
+struct PredictionInterval {
+  double mean = 0.0;
+  double lo = 0.0;  ///< lower quantile of the per-tree predictions
+  double hi = 0.0;  ///< upper quantile of the per-tree predictions
+};
+
+/// A partial-dependence point with the same band.
+struct PartialDependenceInterval {
+  double x = 0.0;
+  PredictionInterval y;
+};
+
+class RandomForest {
+ public:
+  /// Fit the forest. Feature names are kept for reporting; pass one name
+  /// per column of x.
+  void fit(const linalg::Matrix& x, const std::vector<double>& y,
+           std::vector<std::string> feature_names, const ForestParams& params);
+
+  double predict_row(const double* row) const;
+  std::vector<double> predict(const linalg::Matrix& x) const;
+
+  /// OOB mean squared error (the forest's internal generalisation
+  /// estimate). Rows never out-of-bag are excluded.
+  double oob_mse() const { return oob_mse_; }
+
+  /// randomForest's "% Var explained": 100 * (1 - oob_mse / Var(y)).
+  double pct_var_explained() const { return pct_var_explained_; }
+
+  /// OOB prediction per training row (NaN for rows never OOB).
+  const std::vector<double>& oob_predictions() const {
+    return oob_predictions_;
+  }
+
+  /// Importance table sorted by descending %IncMSE. Requires
+  /// params.importance at fit time.
+  std::vector<VariableImportance> importance() const;
+
+  /// Names of the top-k variables by %IncMSE.
+  std::vector<std::string> top_variables(std::size_t k) const;
+
+  /// Partial dependence of the response on `feature` over a grid of
+  /// `grid_points` values spanning the observed range of that feature.
+  std::vector<PartialDependencePoint> partial_dependence(
+      const std::string& feature, std::size_t grid_points = 25) const;
+
+  /// Prediction with an empirical interval: [lo, hi] are the alpha/2 and
+  /// 1-alpha/2 quantiles of the individual tree predictions (alpha = 0.1
+  /// gives an 80% band). Wide bands flag extrapolation or sparse regions.
+  PredictionInterval predict_interval(const double* row,
+                                      double alpha = 0.1) const;
+
+  /// Partial dependence with the same per-grid-point band (the paper's
+  /// §7 "confidence intervals in the partial dependence plots").
+  std::vector<PartialDependenceInterval> partial_dependence_interval(
+      const std::string& feature, std::size_t grid_points = 25,
+      double alpha = 0.1) const;
+
+  std::size_t n_trees() const { return trees_.size(); }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  bool fitted() const { return !trees_.empty(); }
+
+  /// Serialise the fitted forest (trees, feature names, OOB statistics,
+  /// importance accumulators and the retained training data that partial
+  /// dependence needs) to a text stream / file.
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+  static RandomForest load(std::istream& is);
+  static RandomForest load_file(const std::string& path);
+
+ private:
+  std::vector<RegressionTree> trees_;
+  std::vector<std::string> feature_names_;
+  linalg::Matrix train_x_;           // retained for partial dependence
+  std::vector<double> train_y_;
+  std::vector<double> oob_predictions_;
+  double oob_mse_ = 0.0;
+  double pct_var_explained_ = 0.0;
+  // Permutation importance accumulators (per feature).
+  std::vector<double> imp_mean_;
+  std::vector<double> imp_sd_;
+  std::vector<double> imp_purity_;
+  bool has_importance_ = false;
+};
+
+}  // namespace bf::ml

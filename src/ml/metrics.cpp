@@ -1,0 +1,123 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bf::ml {
+namespace {
+
+void check_sizes(const std::vector<double>& a, const std::vector<double>& b) {
+  BF_CHECK_MSG(a.size() == b.size() && !a.empty(),
+               "metric needs equal-length non-empty vectors");
+}
+
+}  // namespace
+
+double mse(const std::vector<double>& y_true,
+           const std::vector<double>& y_pred) {
+  check_sizes(y_true, y_pred);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const double d = y_true[i] - y_pred[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(y_true.size());
+}
+
+double rmse(const std::vector<double>& y_true,
+            const std::vector<double>& y_pred) {
+  return std::sqrt(mse(y_true, y_pred));
+}
+
+double mae(const std::vector<double>& y_true,
+           const std::vector<double>& y_pred) {
+  check_sizes(y_true, y_pred);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    acc += std::fabs(y_true[i] - y_pred[i]);
+  }
+  return acc / static_cast<double>(y_true.size());
+}
+
+double median_abs_pct_error(const std::vector<double>& y_true,
+                            const std::vector<double>& y_pred, double eps) {
+  check_sizes(y_true, y_pred);
+  std::vector<double> errs;
+  errs.reserve(y_true.size());
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    if (std::fabs(y_true[i]) < eps) continue;
+    errs.push_back(100.0 * std::fabs(y_pred[i] - y_true[i]) /
+                   std::fabs(y_true[i]));
+  }
+  if (errs.empty()) return 0.0;
+  std::sort(errs.begin(), errs.end());
+  const std::size_t n = errs.size();
+  return (n % 2 == 1) ? errs[n / 2] : 0.5 * (errs[n / 2 - 1] + errs[n / 2]);
+}
+
+double r2(const std::vector<double>& y_true,
+          const std::vector<double>& y_pred) {
+  check_sizes(y_true, y_pred);
+  const double m = mean(y_true);
+  double rss = 0.0;
+  double tss = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const double d = y_true[i] - y_pred[i];
+    const double t = y_true[i] - m;
+    rss += d * d;
+    tss += t * t;
+  }
+  if (tss <= 0.0) return rss <= 0.0 ? 0.0 : -1.0;
+  return 1.0 - rss / tss;
+}
+
+double explained_variance(const std::vector<double>& y_true,
+                          const std::vector<double>& y_pred) {
+  check_sizes(y_true, y_pred);
+  const double var = variance(y_true);
+  if (var <= 0.0) return 0.0;
+  return 1.0 - mse(y_true, y_pred) / var;
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size());
+}
+
+double sample_sd(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  check_sizes(a, b);
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double num = 0.0;
+  double da = 0.0;
+  double db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da <= 0.0 || db <= 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+}  // namespace bf::ml

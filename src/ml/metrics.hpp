@@ -1,0 +1,49 @@
+// Regression quality metrics used across model validation.
+#pragma once
+
+#include <vector>
+
+namespace bf::ml {
+
+/// Mean squared error between predictions and truth.
+double mse(const std::vector<double>& y_true,
+           const std::vector<double>& y_pred);
+
+/// Root mean squared error.
+double rmse(const std::vector<double>& y_true,
+            const std::vector<double>& y_pred);
+
+/// Mean absolute error.
+double mae(const std::vector<double>& y_true,
+           const std::vector<double>& y_pred);
+
+/// Median absolute relative error (the paper's related-work accuracy
+/// metric), in percent. Entries with |y_true| < eps are skipped.
+double median_abs_pct_error(const std::vector<double>& y_true,
+                            const std::vector<double>& y_pred,
+                            double eps = 1e-12);
+
+/// Coefficient of determination R^2 = 1 - RSS/TSS. Returns 0 when the
+/// response is constant and predictions are exact, negative when worse
+/// than the mean predictor.
+double r2(const std::vector<double>& y_true,
+          const std::vector<double>& y_pred);
+
+/// Fraction of response variance explained, as randomForest reports it:
+/// 1 - MSE / Var(y). In percent terms multiply by 100.
+double explained_variance(const std::vector<double>& y_true,
+                          const std::vector<double>& y_pred);
+
+/// Mean of a vector (0 for empty).
+double mean(const std::vector<double>& v);
+
+/// Population variance (denominator n).
+double variance(const std::vector<double>& v);
+
+/// Sample standard deviation (denominator n-1; 0 when n < 2).
+double sample_sd(const std::vector<double>& v);
+
+/// Pearson correlation; 0 if either side is constant.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace bf::ml

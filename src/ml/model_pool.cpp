@@ -1,0 +1,184 @@
+#include "ml/model_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "linalg/solve.hpp"
+#include "ml/metrics.hpp"
+
+namespace bf::ml {
+
+const char* basis_name(BasisKind kind) {
+  switch (kind) {
+    case BasisKind::kIdentity: return "id";
+    case BasisKind::kSquare: return "square";
+    case BasisKind::kCube: return "cube";
+    case BasisKind::kSqrt: return "sqrt";
+    case BasisKind::kLog2: return "log2";
+    case BasisKind::kXLog2X: return "xlog2x";
+  }
+  return "?";
+}
+
+double basis_eval(BasisKind kind, double x) {
+  switch (kind) {
+    case BasisKind::kIdentity: return x;
+    case BasisKind::kSquare: return x * x;
+    case BasisKind::kCube: return x * x * x;
+    case BasisKind::kSqrt: return std::sqrt(std::max(0.0, x));
+    case BasisKind::kLog2: return std::log2(std::max(0.0, x) + 1.0);
+    case BasisKind::kXLog2X:
+      return x * std::log2(std::max(0.0, x) + 1.0);
+  }
+  return 0.0;
+}
+
+linalg::Matrix ModelPoolRegression::build_design(
+    const linalg::Matrix& x, const std::vector<Term>& terms) const {
+  linalg::Matrix d(x.rows(), terms.size() + 1);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    d(i, 0) = 1.0;
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+      d(i, t + 1) = basis_eval(terms[t].kind, x(i, terms[t].var));
+    }
+  }
+  return d;
+}
+
+namespace {
+
+/// Leave-chunk-out cross-validated RSS of y ~ design.
+double cv_rss(const linalg::Matrix& design, const std::vector<double>& y,
+              std::size_t folds) {
+  const std::size_t n = design.rows();
+  folds = std::min(folds, n);
+  double total = 0.0;
+  for (std::size_t f = 0; f < folds; ++f) {
+    // Contiguous chunks keep this deterministic and simple.
+    const std::size_t lo = f * n / folds;
+    const std::size_t hi = (f + 1) * n / folds;
+    if (lo == hi) continue;
+    linalg::Matrix train(n - (hi - lo), design.cols());
+    std::vector<double> ytrain;
+    ytrain.reserve(n - (hi - lo));
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i >= lo && i < hi) continue;
+      for (std::size_t c = 0; c < design.cols(); ++c) {
+        train(r, c) = design(i, c);
+      }
+      ytrain.push_back(y[i]);
+      ++r;
+    }
+    if (ytrain.size() <= design.cols()) return 1e300;  // under-determined
+    const auto sol = linalg::qr_least_squares(train, ytrain);
+    for (std::size_t i = lo; i < hi; ++i) {
+      double pred = 0.0;
+      for (std::size_t c = 0; c < design.cols(); ++c) {
+        pred += design(i, c) * sol.coefficients[c];
+      }
+      total += (y[i] - pred) * (y[i] - pred);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+void ModelPoolRegression::fit(const linalg::Matrix& x,
+                              const std::vector<double>& y,
+                              std::vector<std::string> names,
+                              const ModelPoolParams& params) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  BF_CHECK_MSG(n == y.size(), "X/y row mismatch");
+  BF_CHECK_MSG(names.size() == p, "name count mismatch");
+  BF_CHECK_MSG(n >= 4, "need at least 4 observations");
+  num_inputs_ = p;
+  names_ = std::move(names);
+
+  static constexpr BasisKind kPool[] = {
+      BasisKind::kIdentity, BasisKind::kSquare,   BasisKind::kCube,
+      BasisKind::kSqrt,     BasisKind::kLog2,     BasisKind::kXLog2X};
+
+  terms_.clear();
+  double best_cv = cv_rss(build_design(x, terms_), y, params.folds);
+
+  while (terms_.size() < params.max_terms) {
+    double round_best = best_cv;
+    Term round_term;
+    bool found = false;
+    for (std::size_t var = 0; var < p; ++var) {
+      for (const BasisKind kind : kPool) {
+        const bool dup = std::any_of(
+            terms_.begin(), terms_.end(), [&](const Term& t) {
+              return t.var == var && t.kind == kind;
+            });
+        if (dup) continue;
+        auto cand = terms_;
+        cand.push_back(Term{var, kind});
+        const double cv = cv_rss(build_design(x, cand), y, params.folds);
+        if (cv < round_best) {
+          round_best = cv;
+          round_term = Term{var, kind};
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    if (best_cv > 0 &&
+        (best_cv - round_best) < params.min_improvement * best_cv) {
+      // Accept the term only if it still helps noticeably.
+      break;
+    }
+    terms_.push_back(round_term);
+    best_cv = round_best;
+  }
+
+  const auto design = build_design(x, terms_);
+  const auto sol = linalg::qr_least_squares(design, y);
+  coef_ = sol.coefficients;
+  const double rss = sol.residual_norm * sol.residual_norm;
+  double tss = 0.0;
+  const double ybar = mean(y);
+  for (const double v : y) tss += (v - ybar) * (v - ybar);
+  r_squared_ = tss > 0.0 ? 1.0 - rss / tss : 0.0;
+}
+
+double ModelPoolRegression::predict_row(const double* row,
+                                        std::size_t num_inputs) const {
+  BF_CHECK_MSG(fitted(), "predict on unfitted model-pool regression");
+  BF_CHECK_MSG(num_inputs == num_inputs_, "input arity mismatch");
+  double acc = coef_[0];
+  for (std::size_t t = 0; t < terms_.size(); ++t) {
+    acc += coef_[t + 1] * basis_eval(terms_[t].kind, row[terms_[t].var]);
+  }
+  return acc;
+}
+
+std::vector<double> ModelPoolRegression::predict(
+    const linalg::Matrix& x) const {
+  BF_CHECK_MSG(x.cols() == num_inputs_, "prediction arity mismatch");
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = predict_row(x.row_ptr(i), num_inputs_);
+  }
+  return out;
+}
+
+std::string ModelPoolRegression::to_string() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << coef_[0];
+  for (std::size_t t = 0; t < terms_.size(); ++t) {
+    const double c = coef_[t + 1];
+    os << (c >= 0 ? " + " : " - ") << std::fabs(c) << "*"
+       << basis_name(terms_[t].kind) << "(" << names_[terms_[t].var] << ")";
+  }
+  return os.str();
+}
+
+}  // namespace bf::ml

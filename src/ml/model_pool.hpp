@@ -1,0 +1,63 @@
+// Model-pool parametric regression — the Eiger baseline (Kerr, Anger,
+// Hendry, Yalamanchili, WPEA 2012) from the paper's related work (§2):
+// "An analytical performance model is constructed using parametric
+// regression analysis over training data and a model pool consisting of
+// basis functions."
+//
+// For every input variable the pool offers a family of basis functions
+// (identity, square, cube, sqrt, log2, x*log2 x). A greedy pass selects
+// the pool member whose addition most reduces leave-chunk-out
+// cross-validated RSS, yielding a closed-form analytical model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace bf::ml {
+
+enum class BasisKind { kIdentity, kSquare, kCube, kSqrt, kLog2, kXLog2X };
+
+const char* basis_name(BasisKind kind);
+double basis_eval(BasisKind kind, double x);
+
+struct ModelPoolParams {
+  std::size_t max_terms = 8;
+  /// Folds for the cross-validated selection criterion.
+  std::size_t folds = 4;
+  double min_improvement = 1e-4;  ///< relative CV-RSS improvement to keep going
+};
+
+class ModelPoolRegression {
+ public:
+  void fit(const linalg::Matrix& x, const std::vector<double>& y,
+           std::vector<std::string> names,
+           const ModelPoolParams& params = {});
+
+  double predict_row(const double* row, std::size_t num_inputs) const;
+  std::vector<double> predict(const linalg::Matrix& x) const;
+
+  double r_squared() const { return r_squared_; }
+  bool fitted() const { return !coef_.empty(); }
+
+  /// Closed form, e.g. "4.1 + 0.3*log2(size) + 2e-9*cube(size)".
+  std::string to_string() const;
+
+ private:
+  struct Term {
+    std::size_t var = 0;
+    BasisKind kind = BasisKind::kIdentity;
+  };
+
+  linalg::Matrix build_design(const linalg::Matrix& x,
+                              const std::vector<Term>& terms) const;
+
+  std::size_t num_inputs_ = 0;
+  std::vector<std::string> names_;
+  std::vector<Term> terms_;
+  std::vector<double> coef_;  ///< intercept + one per term
+  double r_squared_ = 0.0;
+};
+
+}  // namespace bf::ml

@@ -1,0 +1,195 @@
+#include "ml/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/eigen.hpp"
+
+namespace bf::ml {
+
+void Pca::fit(const linalg::Matrix& x, std::vector<std::string> variable_names,
+              const PcaParams& params) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  BF_CHECK_MSG(n >= 2, "PCA needs at least 2 observations");
+  BF_CHECK_MSG(variable_names.size() == p, "variable name count mismatch");
+  names_ = std::move(variable_names);
+
+  // Center (and optionally standardise) columns.
+  center_.assign(p, 0.0);
+  scale_.assign(p, 1.0);
+  for (std::size_t j = 0; j < p; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += x(i, j);
+    center_[j] = s / static_cast<double>(n);
+  }
+  linalg::Matrix z(n, p);
+  for (std::size_t j = 0; j < p; ++j) {
+    for (std::size_t i = 0; i < n; ++i) z(i, j) = x(i, j) - center_[j];
+  }
+  if (params.scale) {
+    for (std::size_t j = 0; j < p; ++j) {
+      double sq = 0.0;
+      for (std::size_t i = 0; i < n; ++i) sq += z(i, j) * z(i, j);
+      const double sd = std::sqrt(sq / static_cast<double>(n - 1));
+      // Constant columns are left unscaled instead of dividing by ~0; they
+      // contribute a zero eigenvalue and land in the trailing components.
+      scale_[j] = sd > 1e-12 ? sd : 1.0;
+      for (std::size_t i = 0; i < n; ++i) z(i, j) /= scale_[j];
+    }
+  }
+
+  // Covariance (p x p) and its eigendecomposition.
+  linalg::Matrix cov(p, p);
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t b = a; b < p; ++b) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < n; ++i) s += z(i, a) * z(i, b);
+      const double v = s / static_cast<double>(n - 1);
+      cov(a, b) = v;
+      cov(b, a) = v;
+    }
+  }
+  const linalg::EigenResult eig = linalg::symmetric_eigen(cov);
+
+  sdev_.resize(p);
+  for (std::size_t j = 0; j < p; ++j) {
+    sdev_[j] = std::sqrt(std::max(0.0, eig.values[j]));
+  }
+  rotation_ = eig.vectors;
+  scores_ = z * rotation_;
+
+  // Decide how many components to retain.
+  const auto cum = cumulative_variance();
+  retained_ = p;
+  for (std::size_t j = 0; j < p; ++j) {
+    if (cum[j] >= params.variance_target) {
+      retained_ = j + 1;
+      break;
+    }
+  }
+  if (params.max_components > 0) {
+    retained_ = std::min(retained_, params.max_components);
+  }
+  retained_ = std::max<std::size_t>(1, retained_);
+  have_rotated_ = false;
+}
+
+std::vector<double> Pca::variance_proportion() const {
+  double total = 0.0;
+  for (double s : sdev_) total += s * s;
+  std::vector<double> out(sdev_.size(), 0.0);
+  if (total <= 0.0) return out;
+  for (std::size_t j = 0; j < sdev_.size(); ++j) {
+    out[j] = sdev_[j] * sdev_[j] / total;
+  }
+  return out;
+}
+
+std::vector<double> Pca::cumulative_variance() const {
+  auto out = variance_proportion();
+  for (std::size_t j = 1; j < out.size(); ++j) out[j] += out[j - 1];
+  return out;
+}
+
+linalg::Matrix Pca::transform(const linalg::Matrix& x) const {
+  BF_CHECK_MSG(x.cols() == names_.size(), "transform: column mismatch");
+  linalg::Matrix z(x.rows(), x.cols());
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      z(i, j) = (x(i, j) - center_[j]) / scale_[j];
+    }
+  }
+  return z * rotation_;
+}
+
+double Pca::loading(const std::string& var, std::size_t comp) const {
+  const auto it = std::find(names_.begin(), names_.end(), var);
+  BF_CHECK_MSG(it != names_.end(), "unknown variable: " << var);
+  const std::size_t v = static_cast<std::size_t>(it - names_.begin());
+  if (have_rotated_) {
+    BF_CHECK_MSG(comp < rotated_.cols(), "component out of range");
+    return rotated_(v, comp);
+  }
+  BF_CHECK_MSG(comp < rotation_.cols(), "component out of range");
+  return rotation_(v, comp);
+}
+
+const linalg::Matrix& Pca::varimax(int max_iter, double tol) {
+  const std::size_t p = names_.size();
+  const std::size_t k = retained_;
+  // Loadings scaled by component sdev (factor-analysis convention) so that
+  // rotation balances variance across components.
+  linalg::Matrix l(p, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < p; ++i) l(i, j) = rotation_(i, j) * sdev_[j];
+  }
+  if (k < 2) {
+    rotated_ = l;
+    have_rotated_ = true;
+    return rotated_;
+  }
+
+  // Kaiser's pairwise varimax: rotate each pair of components to maximise
+  // the variance of squared loadings, iterating until angles vanish.
+  const double np = static_cast<double>(p);
+  for (int iter = 0; iter < max_iter; ++iter) {
+    double max_angle = 0.0;
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = a + 1; b < k; ++b) {
+        double u_sum = 0.0;
+        double v_sum = 0.0;
+        double u2v2 = 0.0;
+        double uv = 0.0;
+        for (std::size_t i = 0; i < p; ++i) {
+          const double u = l(i, a) * l(i, a) - l(i, b) * l(i, b);
+          const double v = 2.0 * l(i, a) * l(i, b);
+          u_sum += u;
+          v_sum += v;
+          u2v2 += u * u - v * v;
+          uv += u * v;
+        }
+        const double num = 2.0 * (uv - u_sum * v_sum / np);
+        const double den = u2v2 - (u_sum * u_sum - v_sum * v_sum) / np;
+        const double angle = 0.25 * std::atan2(num, den);
+        if (std::fabs(angle) < tol) continue;
+        max_angle = std::max(max_angle, std::fabs(angle));
+        const double c = std::cos(angle);
+        const double s = std::sin(angle);
+        for (std::size_t i = 0; i < p; ++i) {
+          const double la = l(i, a);
+          const double lb = l(i, b);
+          l(i, a) = c * la + s * lb;
+          l(i, b) = -s * la + c * lb;
+        }
+      }
+    }
+    if (max_angle < tol) break;
+  }
+  rotated_ = l;
+  have_rotated_ = true;
+  return rotated_;
+}
+
+std::vector<std::vector<std::pair<std::string, double>>> Pca::strong_loadings(
+    double cutoff) const {
+  const std::size_t k = retained_;
+  std::vector<std::vector<std::pair<std::string, double>>> out(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t v = 0; v < names_.size(); ++v) {
+      const double val =
+          have_rotated_ ? rotated_(v, c) : rotation_(v, c) * sdev_[c];
+      if (std::fabs(val) >= cutoff) {
+        out[c].emplace_back(names_[v], val);
+      }
+    }
+    std::sort(out[c].begin(), out[c].end(),
+              [](const auto& a, const auto& b) {
+                return std::fabs(a.second) > std::fabs(b.second);
+              });
+  }
+  return out;
+}
+
+}  // namespace bf::ml

@@ -1,0 +1,83 @@
+// Principal component analysis with varimax rotation.
+//
+// The paper's refinement stage (§4.2) runs PCA over the counter data
+// (R prcomp) and applies varimax rotation so that each retained component
+// loads strongly on a small group of counters; the factor loadings are then
+// interpreted as performance facets (memory intensity, ILP/MIMD
+// parallelism, SIMD efficiency, memory-subsystem throughput — §5.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace bf::ml {
+
+struct PcaParams {
+  /// Standardise columns to unit variance before the eigendecomposition
+  /// (prcomp's scale.=TRUE). Required when counters live on wildly
+  /// different scales, which they always do.
+  bool scale = true;
+  /// Keep components until this fraction of total variance is covered.
+  double variance_target = 0.97;
+  /// Hard cap on retained components (0 = no cap).
+  std::size_t max_components = 0;
+};
+
+class Pca {
+ public:
+  /// Fit on a data matrix (rows = observations, cols = variables).
+  void fit(const linalg::Matrix& x, std::vector<std::string> variable_names,
+           const PcaParams& params = {});
+
+  std::size_t num_components() const { return sdev_.size(); }
+  std::size_t num_retained() const { return retained_; }
+
+  /// Standard deviation of each component (sqrt of eigenvalue).
+  const std::vector<double>& sdev() const { return sdev_; }
+
+  /// Proportion of variance per component, and the cumulative curve.
+  std::vector<double> variance_proportion() const;
+  std::vector<double> cumulative_variance() const;
+
+  /// Rotation matrix: column j holds the loadings of component j on the
+  /// original variables (prcomp's `rotation`).
+  const linalg::Matrix& rotation() const { return rotation_; }
+
+  /// Scores of the training data on all components.
+  const linalg::Matrix& scores() const { return scores_; }
+
+  const std::vector<std::string>& variable_names() const { return names_; }
+
+  /// Project new observations into component space (applies the stored
+  /// centering/scaling).
+  linalg::Matrix transform(const linalg::Matrix& x) const;
+
+  /// Loading of variable `var` on retained component `comp` (0-based),
+  /// after varimax if `varimax_loadings` was computed, else raw.
+  double loading(const std::string& var, std::size_t comp) const;
+
+  /// Varimax-rotate the loadings of the retained components; returns the
+  /// rotated loading matrix (vars x retained). Subsequent loading() calls
+  /// use the rotated values.
+  const linalg::Matrix& varimax(int max_iter = 100, double tol = 1e-8);
+
+  /// For each retained component, the variables with |loading| >= cutoff,
+  /// sorted by |loading| descending. Pairs of (name, loading).
+  std::vector<std::vector<std::pair<std::string, double>>> strong_loadings(
+      double cutoff = 0.3) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> center_;
+  std::vector<double> scale_;
+  std::vector<double> sdev_;
+  linalg::Matrix rotation_;   // p x p
+  linalg::Matrix scores_;     // n x p
+  linalg::Matrix rotated_;    // p x retained (after varimax)
+  bool have_rotated_ = false;
+  std::size_t retained_ = 0;
+};
+
+}  // namespace bf::ml

@@ -1,0 +1,156 @@
+#include "ml/stepwise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "linalg/solve.hpp"
+#include "ml/metrics.hpp"
+
+namespace bf::ml {
+namespace {
+
+/// OLS RSS of y ~ intercept + x[:, subset]; also returns coefficients.
+std::pair<double, std::vector<double>> fit_subset(
+    const linalg::Matrix& x, const std::vector<double>& y,
+    const std::vector<std::size_t>& subset) {
+  const std::size_t n = x.rows();
+  linalg::Matrix design(n, subset.size() + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    design(i, 0) = 1.0;
+    for (std::size_t j = 0; j < subset.size(); ++j) {
+      design(i, j + 1) = x(i, subset[j]);
+    }
+  }
+  const auto sol = linalg::qr_least_squares(design, y);
+  return {sol.residual_norm * sol.residual_norm, sol.coefficients};
+}
+
+}  // namespace
+
+double StepwiseRegression::criterion_of(double rss, std::size_t n,
+                                        std::size_t k) const {
+  const double nn = static_cast<double>(n);
+  const double safe_rss = std::max(rss, 1e-300);
+  const double loglik_term = nn * std::log(safe_rss / nn);
+  const double penalty = params_.criterion == StepwiseCriterion::kAic
+                             ? 2.0
+                             : std::log(nn);
+  // k selected variables + intercept + variance = k + 2 parameters.
+  return loglik_term + penalty * (static_cast<double>(k) + 2.0);
+}
+
+void StepwiseRegression::fit(const linalg::Matrix& x,
+                             const std::vector<double>& y,
+                             std::vector<std::string> names,
+                             const StepwiseParams& params) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  BF_CHECK_MSG(n == y.size(), "X/y row mismatch");
+  BF_CHECK_MSG(names.size() == p, "name count mismatch");
+  BF_CHECK_MSG(n >= 3, "need at least 3 observations");
+  params_ = params;
+  num_inputs_ = p;
+  names_ = std::move(names);
+
+  std::vector<std::size_t> current;
+  auto [rss, coef] = fit_subset(x, y, current);
+  double best_crit = criterion_of(rss, n, 0);
+  coef_ = coef;
+
+  const std::size_t cap =
+      params.max_variables == 0 ? p : std::min(p, params.max_variables);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Forward step: try adding each remaining variable.
+    if (current.size() < cap) {
+      double step_best = best_crit;
+      std::size_t add = p;
+      std::vector<double> add_coef;
+      for (std::size_t j = 0; j < p; ++j) {
+        if (std::find(current.begin(), current.end(), j) != current.end()) {
+          continue;
+        }
+        auto cand = current;
+        cand.push_back(j);
+        if (cand.size() + 2 >= n) continue;  // keep the fit determined
+        const auto [c_rss, c_coef] = fit_subset(x, y, cand);
+        const double crit = criterion_of(c_rss, n, cand.size());
+        if (crit < step_best - params.min_improvement) {
+          step_best = crit;
+          add = j;
+          add_coef = c_coef;
+        }
+      }
+      if (add != p) {
+        current.push_back(add);
+        best_crit = step_best;
+        coef_ = add_coef;
+        changed = true;
+      }
+    }
+
+    // Backward step: try dropping each selected variable.
+    if (current.size() > 1) {
+      double step_best = best_crit;
+      std::size_t drop = current.size();
+      std::vector<double> drop_coef;
+      for (std::size_t d = 0; d < current.size(); ++d) {
+        auto cand = current;
+        cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(d));
+        const auto [c_rss, c_coef] = fit_subset(x, y, cand);
+        const double crit = criterion_of(c_rss, n, cand.size());
+        if (crit < step_best - params.min_improvement) {
+          step_best = crit;
+          drop = d;
+          drop_coef = c_coef;
+        }
+      }
+      if (drop != current.size()) {
+        current.erase(current.begin() + static_cast<std::ptrdiff_t>(drop));
+        best_crit = step_best;
+        coef_ = drop_coef;
+        changed = true;
+      }
+    }
+  }
+
+  selected_idx_ = current;
+  selected_.clear();
+  for (const std::size_t j : current) selected_.push_back(names_[j]);
+  criterion_value_ = best_crit;
+
+  const auto [final_rss, final_coef] = fit_subset(x, y, current);
+  coef_ = final_coef;
+  double tss = 0.0;
+  const double ybar = mean(y);
+  for (const double v : y) tss += (v - ybar) * (v - ybar);
+  r_squared_ = tss > 0.0 ? 1.0 - final_rss / tss : 0.0;
+}
+
+double StepwiseRegression::predict_row(const double* row,
+                                       std::size_t num_inputs) const {
+  BF_CHECK_MSG(fitted(), "predict on unfitted stepwise model");
+  BF_CHECK_MSG(num_inputs == num_inputs_, "input arity mismatch");
+  double acc = coef_[0];
+  for (std::size_t j = 0; j < selected_idx_.size(); ++j) {
+    acc += coef_[j + 1] * row[selected_idx_[j]];
+  }
+  return acc;
+}
+
+std::vector<double> StepwiseRegression::predict(
+    const linalg::Matrix& x) const {
+  BF_CHECK_MSG(x.cols() == num_inputs_, "prediction arity mismatch");
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = predict_row(x.row_ptr(i), num_inputs_);
+  }
+  return out;
+}
+
+}  // namespace bf::ml

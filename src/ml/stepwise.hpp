@@ -1,0 +1,58 @@
+// Stepwise linear regression — the statistical engine of Stargazer
+// (Jia, Shaw, Martonosi, ISPASS 2012), one of the related-work baselines
+// the paper positions BlackForest against (§2).
+//
+// Forward selection with backward pruning under an information criterion
+// (AIC by default): at each step add the variable whose inclusion most
+// improves the criterion, then drop any variable whose removal improves
+// it, until neither helps. The selection order doubles as a variable-
+// importance ranking, which is exactly how Stargazer identifies the most
+// influential parameters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace bf::ml {
+
+enum class StepwiseCriterion { kAic, kBic };
+
+struct StepwiseParams {
+  StepwiseCriterion criterion = StepwiseCriterion::kAic;
+  /// Hard cap on selected variables (0 = no cap).
+  std::size_t max_variables = 0;
+  /// Stop when the criterion improves by less than this.
+  double min_improvement = 1e-6;
+};
+
+class StepwiseRegression {
+ public:
+  void fit(const linalg::Matrix& x, const std::vector<double>& y,
+           std::vector<std::string> names, const StepwiseParams& params = {});
+
+  double predict_row(const double* row, std::size_t num_inputs) const;
+  std::vector<double> predict(const linalg::Matrix& x) const;
+
+  /// Selected variables in order of entry (Stargazer's influence ranking).
+  const std::vector<std::string>& selected() const { return selected_; }
+  /// Criterion value of the final model.
+  double criterion_value() const { return criterion_value_; }
+  double r_squared() const { return r_squared_; }
+  bool fitted() const { return !coef_.empty(); }
+
+ private:
+  double criterion_of(double rss, std::size_t n, std::size_t k) const;
+
+  StepwiseParams params_;
+  std::size_t num_inputs_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::size_t> selected_idx_;
+  std::vector<std::string> selected_;
+  std::vector<double> coef_;  ///< intercept + one per selected variable
+  double criterion_value_ = 0.0;
+  double r_squared_ = 0.0;
+};
+
+}  // namespace bf::ml

@@ -1,0 +1,124 @@
+#include "profiling/counter_registry.hpp"
+
+#include "common/error.hpp"
+
+namespace bf::profiling {
+
+const std::vector<CounterInfo>& counter_registry() {
+  using K = CounterKind;
+  static const std::vector<CounterInfo> registry = {
+      // ---- instruction events ----
+      {"inst_executed", "warp instructions executed (no replays)",
+       K::kEvent, true, true},
+      {"inst_issued", "instructions issued including replays", K::kEvent,
+       true, true},
+      {"branch", "branch instructions executed, per warp", K::kEvent, true,
+       true},
+      {"divergent_branch", "branches where the warp diverged", K::kEvent,
+       true, true},
+      // ---- global memory events ----
+      {"gld_request", "executed global load instructions, per warp",
+       K::kEvent, true, true},
+      {"gst_request", "executed global store instructions, per warp",
+       K::kEvent, true, true},
+      {"l1_global_load_hit",
+       "cache lines that hit in L1 for global loads", K::kEvent, true,
+       true},
+      {"l1_global_load_miss",
+       "cache lines that miss in L1 for global loads", K::kEvent, true,
+       true},
+      {"global_store_transaction",
+       "global store transactions (32-128 byte segments)", K::kEvent, true,
+       true},
+      {"l2_read_transactions", "32 B read transactions at L2", K::kEvent,
+       true, true},
+      {"l2_write_transactions", "32 B write transactions at L2", K::kEvent,
+       true, true},
+      {"dram_read_transactions", "32 B reads reaching device memory",
+       K::kEvent, true, true},
+      {"dram_write_transactions", "32 B writes reaching device memory",
+       K::kEvent, true, true},
+      // ---- shared memory events ----
+      {"shared_load", "executed shared load instructions, per warp",
+       K::kEvent, true, true},
+      {"shared_store", "executed shared store instructions, per warp",
+       K::kEvent, true, true},
+      {"l1_shared_bank_conflict",
+       "replays due to shared memory bank conflicts (Fermi only)",
+       K::kEvent, true, false},
+      {"shared_load_replay",
+       "shared load replays due to bank conflicts (Kepler only)", K::kEvent,
+       false, true},
+      {"shared_store_replay",
+       "shared store replays due to bank conflicts (Kepler only)",
+       K::kEvent, false, true},
+      // ---- derived metrics ----
+      {"ipc", "instructions executed per active cycle per SM", K::kMetric,
+       true, true},
+      {"issue_slot_utilization",
+       "fraction of issue slots that issued an instruction", K::kMetric,
+       true, true},
+      {"achieved_occupancy",
+       "average active warps per active cycle / max warps per SM",
+       K::kMetric, true, true},
+      {"warp_execution_efficiency",
+       "average active threads per warp / warp size", K::kMetric, true,
+       true},
+      {"inst_replay_overhead",
+       "average replays per executed instruction", K::kMetric, true, true},
+      {"shared_replay_overhead",
+       "average shared-conflict replays per executed instruction",
+       K::kMetric, true, true},
+      {"gld_requested_throughput",
+       "requested global load throughput (GB/s)", K::kMetric, true, true},
+      {"gst_requested_throughput",
+       "requested global store throughput (GB/s)", K::kMetric, true, true},
+      {"gld_throughput", "actual global load throughput (GB/s)", K::kMetric,
+       true, true},
+      {"gst_throughput", "actual global store throughput (GB/s)",
+       K::kMetric, true, true},
+      {"gld_efficiency",
+       "requested / actual global load throughput", K::kMetric, true, true},
+      {"gst_efficiency",
+       "requested / actual global store throughput", K::kMetric, true,
+       true},
+      {"l2_read_throughput", "read throughput at L2 (GB/s)", K::kMetric,
+       true, true},
+      {"l2_write_throughput", "write throughput at L2 (GB/s)", K::kMetric,
+       true, true},
+      {"dram_read_throughput", "device memory read throughput (GB/s)",
+       K::kMetric, true, true},
+      {"dram_write_throughput", "device memory write throughput (GB/s)",
+       K::kMetric, true, true},
+      {"flop_sp_efficiency",
+       "achieved / peak single-precision FLOP rate", K::kMetric, true,
+       true},
+      {"power_avg_w", "estimated average board power (W)", K::kMetric, true,
+       true},
+  };
+  return registry;
+}
+
+const CounterInfo& counter_info(const std::string& name) {
+  for (const auto& c : counter_registry()) {
+    if (c.name == name) return c;
+  }
+  BF_FAIL("unknown counter: " << name);
+}
+
+bool counter_available(const std::string& name, gpusim::Generation gen) {
+  const CounterInfo& info = counter_info(name);
+  return gen == gpusim::Generation::kFermi ? info.on_fermi : info.on_kepler;
+}
+
+std::vector<std::string> counters_for(gpusim::Generation gen) {
+  std::vector<std::string> out;
+  for (const auto& c : counter_registry()) {
+    const bool ok =
+        gen == gpusim::Generation::kFermi ? c.on_fermi : c.on_kepler;
+    if (ok) out.push_back(c.name);
+  }
+  return out;
+}
+
+}  // namespace bf::profiling

@@ -1,0 +1,43 @@
+// Registry of nvprof-style counters and metrics (the paper's Table 1 plus
+// the rest of the working set), with per-generation availability.
+//
+// Counter availability differences between Fermi and Kepler are load-
+// bearing for the paper: §7 calls out that l1_shared_bank_conflict exists
+// only on Fermi while shared_load_replay / shared_store_replay exist only
+// on Kepler, which complicates hardware scaling. The registry encodes
+// exactly that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/arch.hpp"
+
+namespace bf::profiling {
+
+enum class CounterKind {
+  kEvent,   ///< raw hardware event count
+  kMetric,  ///< derived metric (ratio, percentage or throughput)
+};
+
+struct CounterInfo {
+  std::string name;
+  std::string description;
+  CounterKind kind = CounterKind::kEvent;
+  bool on_fermi = true;
+  bool on_kepler = true;
+};
+
+/// All counters/metrics the profiler can produce, in a stable order.
+const std::vector<CounterInfo>& counter_registry();
+
+/// Metadata for one counter; throws bf::Error for unknown names.
+const CounterInfo& counter_info(const std::string& name);
+
+/// True if `name` is produced on the given architecture generation.
+bool counter_available(const std::string& name, gpusim::Generation gen);
+
+/// Names available on a generation, in registry order.
+std::vector<std::string> counters_for(gpusim::Generation gen);
+
+}  // namespace bf::profiling

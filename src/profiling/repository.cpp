@@ -1,0 +1,67 @@
+#include "profiling/repository.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace fs = std::filesystem;
+
+namespace bf::profiling {
+namespace {
+
+// Keep keys filesystem-safe.
+std::string sanitize(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  BF_CHECK_MSG(!out.empty(), "empty repository key");
+  return out;
+}
+
+}  // namespace
+
+RunRepository::RunRepository(std::string root) : root_(std::move(root)) {
+  BF_CHECK_MSG(!root_.empty(), "empty repository root");
+  fs::create_directories(root_);
+}
+
+std::string RunRepository::path_for(const std::string& workload,
+                                    const std::string& arch) const {
+  return root_ + "/" + sanitize(workload) + "__" + sanitize(arch) + ".csv";
+}
+
+void RunRepository::save(const std::string& workload, const std::string& arch,
+                         const ml::Dataset& ds) const {
+  ds.to_csv().save(path_for(workload, arch));
+}
+
+std::optional<ml::Dataset> RunRepository::load(const std::string& workload,
+                                               const std::string& arch) const {
+  const std::string path = path_for(workload, arch);
+  if (!fs::exists(path)) return std::nullopt;
+  return ml::Dataset::from_csv(CsvTable::load(path));
+}
+
+bool RunRepository::contains(const std::string& workload,
+                             const std::string& arch) const {
+  return fs::exists(path_for(workload, arch));
+}
+
+std::vector<std::pair<std::string, std::string>> RunRepository::keys() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string stem = entry.path().stem().string();
+    const std::size_t sep = stem.find("__");
+    if (sep == std::string::npos) continue;
+    out.emplace_back(stem.substr(0, sep), stem.substr(sep + 2));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bf::profiling

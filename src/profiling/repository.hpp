@@ -1,0 +1,53 @@
+// On-disk run repository: the paper stores profiler output "in either a
+// database or a structured repository (we used the latter)". Sweeps are
+// stored as CSV files under a root directory, keyed by workload and
+// architecture, so expensive collections can be reused across analyses.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace bf::profiling {
+
+class RunRepository {
+ public:
+  /// Creates `root` if it does not exist.
+  explicit RunRepository(std::string root);
+
+  /// Store a sweep dataset under (workload, arch); overwrites.
+  void save(const std::string& workload, const std::string& arch,
+            const ml::Dataset& ds) const;
+
+  /// Load a stored sweep; std::nullopt when absent.
+  std::optional<ml::Dataset> load(const std::string& workload,
+                                  const std::string& arch) const;
+
+  bool contains(const std::string& workload, const std::string& arch) const;
+
+  /// All (workload, arch) keys present, sorted.
+  std::vector<std::pair<std::string, std::string>> keys() const;
+
+  /// Load if present, else compute via `producer`, save, and return.
+  template <typename Producer>
+  ml::Dataset get_or_collect(const std::string& workload,
+                             const std::string& arch,
+                             Producer&& producer) const {
+    if (auto existing = load(workload, arch)) return *std::move(existing);
+    ml::Dataset ds = producer();
+    save(workload, arch, ds);
+    return ds;
+  }
+
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string path_for(const std::string& workload,
+                       const std::string& arch) const;
+
+  std::string root_;
+};
+
+}  // namespace bf::profiling

@@ -1,0 +1,85 @@
+#include "profiling/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gpusim/arch.hpp"
+
+namespace bf::profiling {
+
+ml::Dataset sweep(const Workload& workload, const gpusim::Device& device,
+                  const std::vector<double>& sizes,
+                  const SweepOptions& options) {
+  BF_CHECK_MSG(!sizes.empty(), "empty size sweep");
+  Profiler profiler(options.profiler);
+
+  ml::Dataset ds;
+  bool schema_ready = false;
+  std::vector<std::string> counter_names;
+
+  for (const double size : sizes) {
+    const ProfileResult r = profiler.profile(workload, device, size);
+    if (!schema_ready) {
+      counter_names.clear();
+      for (const auto& [name, _] : r.counters) counter_names.push_back(name);
+      ds.add_column(kSizeColumn, {});
+      for (const auto& name : counter_names) ds.add_column(name, {});
+      if (options.machine_characteristics) {
+        for (const auto& [name, _] :
+             gpusim::machine_characteristics(device.arch())) {
+          ds.add_column(name, {});
+        }
+      }
+      ds.add_column(kTimeColumn, {});
+      schema_ready = true;
+    }
+    std::vector<double> row;
+    row.reserve(ds.num_cols());
+    row.push_back(size);
+    for (const auto& name : counter_names) {
+      const auto it = r.counters.find(name);
+      BF_CHECK_MSG(it != r.counters.end(),
+                   "counter " << name << " missing from run");
+      row.push_back(it->second);
+    }
+    if (options.machine_characteristics) {
+      for (const auto& [_, value] :
+           gpusim::machine_characteristics(device.arch())) {
+        row.push_back(value);
+      }
+    }
+    row.push_back(r.time_ms);
+    ds.add_row(row);
+  }
+  return ds;
+}
+
+std::vector<double> log2_sizes(double lo, double hi, int count,
+                               std::int64_t multiple) {
+  BF_CHECK_MSG(lo >= 1 && hi > lo && count >= 2, "invalid log2 size range");
+  BF_CHECK_MSG(multiple >= 1, "invalid multiple");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const double llo = std::log2(lo);
+  const double lhi = std::log2(hi);
+  for (int i = 0; i < count; ++i) {
+    const double l = llo + (lhi - llo) * i / (count - 1);
+    std::int64_t v = static_cast<std::int64_t>(std::llround(std::exp2(l)));
+    v = std::max<std::int64_t>(multiple,
+                               (v / multiple) * multiple);  // round down
+    out.push_back(static_cast<double>(v));
+  }
+  // Deduplicate after rounding (small ranges can collide).
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<double> linear_sizes(double lo, double hi, double step) {
+  BF_CHECK_MSG(step > 0 && hi >= lo, "invalid linear size range");
+  std::vector<double> out;
+  for (double v = lo; v <= hi + 1e-9; v += step) out.push_back(v);
+  return out;
+}
+
+}  // namespace bf::profiling

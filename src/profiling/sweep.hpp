@@ -1,0 +1,46 @@
+// Sweep driver: profile a workload across problem sizes (and optionally
+// architectures) into an ml::Dataset ready for the statistical pipeline.
+//
+// This produces exactly the table the paper's modelling consumes: one row
+// per run, one column per counter, plus the problem characteristics
+// ("size"), optional machine characteristics (Table 2 columns, for
+// hardware scaling) and the "time_ms" response.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/engine.hpp"
+#include "ml/dataset.hpp"
+#include "profiling/profiler.hpp"
+
+namespace bf::profiling {
+
+/// Column name of the response variable in sweep datasets.
+inline constexpr const char* kTimeColumn = "time_ms";
+/// Column name of the problem-characteristic column.
+inline constexpr const char* kSizeColumn = "size";
+
+struct SweepOptions {
+  /// Inject the Table 2 machine characteristics (wsched, freq, smp, rco,
+  /// mbw, regs, l2c) as extra columns — required for hardware scaling.
+  bool machine_characteristics = false;
+  ProfilerOptions profiler;
+};
+
+/// Run `workload` once per entry of `sizes` on `device`. All runs share
+/// the same counter schema (determined by the architecture generation).
+ml::Dataset sweep(const Workload& workload, const gpusim::Device& device,
+                  const std::vector<double>& sizes,
+                  const SweepOptions& options = {});
+
+/// Log-spaced (base-2) problem sizes from `lo` to `hi` inclusive,
+/// `count` of them, rounded to multiples of `multiple`.
+std::vector<double> log2_sizes(double lo, double hi, int count,
+                               std::int64_t multiple = 1);
+
+/// Linear sizes lo, lo+step, ..., hi (the paper's NW sweep: 64..8192
+/// step 64).
+std::vector<double> linear_sizes(double lo, double hi, double step);
+
+}  // namespace bf::profiling

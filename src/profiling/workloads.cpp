@@ -1,0 +1,161 @@
+#include "profiling/workloads.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/misc.hpp"
+#include "kernels/nw.hpp"
+#include "kernels/reduce.hpp"
+#include "kernels/spmv.hpp"
+
+namespace bf::profiling {
+namespace {
+
+std::int64_t as_count(double problem_size) {
+  BF_CHECK_MSG(problem_size >= 1.0 && std::isfinite(problem_size),
+               "invalid problem size " << problem_size);
+  return static_cast<std::int64_t>(std::llround(problem_size));
+}
+
+gpusim::AggregateResult single_launch(const gpusim::Device& device,
+                                      const gpusim::TraceKernel& kernel) {
+  gpusim::AggregateResult agg;
+  agg.add(device.run(kernel));
+  return agg;
+}
+
+}  // namespace
+
+Workload reduce_workload(int variant, int block_size) {
+  Workload w;
+  w.name = "reduce" + std::to_string(variant);
+  w.run = [variant, block_size](const gpusim::Device& device,
+                                double problem_size) {
+    return kernels::simulate_reduction(device, variant,
+                                       as_count(problem_size), block_size);
+  };
+  return w;
+}
+
+Workload matmul_workload(int tile) {
+  Workload w;
+  w.name = "matrixMul";
+  w.run = [tile](const gpusim::Device& device, double problem_size) {
+    return kernels::simulate_matmul(
+        device, static_cast<int>(as_count(problem_size)), tile);
+  };
+  return w;
+}
+
+Workload nw_workload() {
+  Workload w;
+  w.name = "needle";
+  w.run = [](const gpusim::Device& device, double problem_size) {
+    return kernels::simulate_nw(device,
+                                static_cast<int>(as_count(problem_size)));
+  };
+  return w;
+}
+
+Workload vecadd_workload(int block_size) {
+  Workload w;
+  w.name = "vecAdd";
+  w.run = [block_size](const gpusim::Device& device, double problem_size) {
+    const kernels::VecAddKernel kernel(as_count(problem_size), block_size);
+    return single_launch(device, kernel);
+  };
+  return w;
+}
+
+Workload transpose_workload(const std::string& variant) {
+  kernels::TransposeVariant v;
+  if (variant == "naive") {
+    v = kernels::TransposeVariant::kNaive;
+  } else if (variant == "tiled") {
+    v = kernels::TransposeVariant::kTiled;
+  } else if (variant == "padded") {
+    v = kernels::TransposeVariant::kTiledPadded;
+  } else {
+    BF_FAIL("unknown transpose variant: " << variant);
+  }
+  Workload w;
+  w.name = "transpose_" + variant;
+  w.run = [v](const gpusim::Device& device, double problem_size) {
+    const kernels::TransposeKernel kernel(
+        static_cast<int>(as_count(problem_size)), v);
+    return single_launch(device, kernel);
+  };
+  return w;
+}
+
+Workload stencil_workload(int block_size) {
+  Workload w;
+  w.name = "stencil5";
+  w.run = [block_size](const gpusim::Device& device, double problem_size) {
+    const kernels::Stencil5Kernel kernel(
+        static_cast<int>(as_count(problem_size)), block_size);
+    return single_launch(device, kernel);
+  };
+  return w;
+}
+
+Workload spmv_workload(int avg_nnz, double row_skew, double locality) {
+  Workload w;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "spmv_n%d_s%02d_l%02d", avg_nnz,
+                static_cast<int>(row_skew * 100),
+                static_cast<int>(locality * 100));
+  w.name = buf;
+  w.run = [avg_nnz, row_skew, locality](const gpusim::Device& device,
+                                        double problem_size) {
+    kernels::SpmvPattern pattern;
+    pattern.avg_nnz_per_row = avg_nnz;
+    pattern.row_skew = row_skew;
+    pattern.locality = locality;
+    const kernels::SpmvCsrKernel kernel(
+        static_cast<int>(as_count(problem_size)), pattern);
+    return single_launch(device, kernel);
+  };
+  return w;
+}
+
+Workload histogram_workload(double skew, int bins) {
+  Workload w;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "histogram_s%02d", 
+                static_cast<int>(skew * 100));
+  w.name = buf;
+  w.run = [skew, bins](const gpusim::Device& device, double problem_size) {
+    const kernels::HistogramKernel kernel(as_count(problem_size), bins,
+                                          skew);
+    return single_launch(device, kernel);
+  };
+  return w;
+}
+
+std::vector<Workload> all_workloads() {
+  std::vector<Workload> out;
+  for (int v = 0; v <= 6; ++v) out.push_back(reduce_workload(v));
+  out.push_back(matmul_workload());
+  out.push_back(nw_workload());
+  out.push_back(vecadd_workload());
+  out.push_back(transpose_workload("naive"));
+  out.push_back(transpose_workload("tiled"));
+  out.push_back(transpose_workload("padded"));
+  out.push_back(stencil_workload());
+  out.push_back(histogram_workload(0.0));
+  out.push_back(histogram_workload(0.9));
+  out.push_back(spmv_workload());
+  return out;
+}
+
+Workload workload_by_name(const std::string& name) {
+  for (auto& w : all_workloads()) {
+    if (w.name == name) return w;
+  }
+  BF_FAIL("unknown workload: " << name);
+}
+
+}  // namespace bf::profiling

@@ -1,0 +1,48 @@
+// Prebuilt Workload adapters for the kernel library, so benches, examples
+// and tests can refer to the paper's applications by name.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "profiling/profiler.hpp"
+
+namespace bf::profiling {
+
+/// reduceN (N in [0,6]) over `size` input elements (multi-launch).
+Workload reduce_workload(int variant, int block_size = 256);
+
+/// Tiled matrix multiply; problem size is the matrix dimension n.
+Workload matmul_workload(int tile = 16);
+
+/// Needleman-Wunsch; problem size is the sequence length.
+Workload nw_workload();
+
+/// Streaming vector add; problem size is the element count.
+Workload vecadd_workload(int block_size = 256);
+
+/// Matrix transpose; problem size is the matrix dimension n.
+/// `variant` in {"naive", "tiled", "padded"}.
+Workload transpose_workload(const std::string& variant);
+
+/// 5-point stencil; problem size is the grid dimension n.
+Workload stencil_workload(int block_size = 256);
+
+/// Shared-atomic histogram; problem size is the element count. `skew` in
+/// [0,1] collapses that fraction of elements into bin 0 (atomic
+/// contention).
+Workload histogram_workload(double skew = 0.0, int bins = 256);
+
+/// CSR SpMV; problem size is the row count. Pattern knobs control the
+/// irregularity (see kernels::SpmvPattern).
+Workload spmv_workload(int avg_nnz = 16, double row_skew = 0.0,
+                       double locality = 0.5);
+
+/// Every named workload above (reduce0..6, matrixMul, needle, vecAdd,
+/// transpose variants, stencil5).
+std::vector<Workload> all_workloads();
+
+/// Look up by workload name; throws bf::Error for unknown names.
+Workload workload_by_name(const std::string& name);
+
+}  // namespace bf::profiling

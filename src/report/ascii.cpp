@@ -1,0 +1,132 @@
+#include "report/ascii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace bf::report {
+
+std::string bar_chart(const std::string& title,
+                      const std::vector<std::pair<std::string, double>>& bars,
+                      int width) {
+  std::ostringstream os;
+  os << title << "\n";
+  if (bars.empty()) return os.str();
+
+  std::size_t label_w = 0;
+  double max_abs = 0.0;
+  for (const auto& [label, value] : bars) {
+    label_w = std::max(label_w, label.size());
+    max_abs = std::max(max_abs, std::fabs(value));
+  }
+  if (max_abs <= 0.0) max_abs = 1.0;
+
+  for (const auto& [label, value] : bars) {
+    const int len = static_cast<int>(
+        std::lround(std::fabs(value) / max_abs * width));
+    os << "  " << label << std::string(label_w - label.size() + 2, ' ')
+       << (value < 0 ? "-" : " ") << std::string(static_cast<std::size_t>(len), '#')
+       << "  " << format_double(value, 3) << "\n";
+  }
+  return os.str();
+}
+
+std::string xy_plot(const std::string& title,
+                    const std::vector<Series>& series, int width, int height,
+                    bool log_x) {
+  BF_CHECK_MSG(width >= 16 && height >= 6, "plot too small");
+  std::ostringstream os;
+  os << title << "\n";
+
+  double min_x = 1e300;
+  double max_x = -1e300;
+  double min_y = 1e300;
+  double max_y = -1e300;
+  bool any = false;
+  const auto tx = [&](double x) { return log_x ? std::log2(x) : x; };
+  for (const auto& s : series) {
+    BF_CHECK_MSG(s.x.size() == s.y.size(), "series size mismatch");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      any = true;
+      min_x = std::min(min_x, tx(s.x[i]));
+      max_x = std::max(max_x, tx(s.x[i]));
+      min_y = std::min(min_y, s.y[i]);
+      max_y = std::max(max_y, s.y[i]);
+    }
+  }
+  if (!any) return os.str();
+  if (max_x <= min_x) max_x = min_x + 1;
+  if (max_y <= min_y) max_y = min_y + 1;
+
+  static const char glyphs[] = {'*', 'o', '+', 'x', '@', '%'};
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char g = glyphs[si % sizeof(glyphs)];
+    for (std::size_t i = 0; i < series[si].x.size(); ++i) {
+      const double fx = (tx(series[si].x[i]) - min_x) / (max_x - min_x);
+      const double fy = (series[si].y[i] - min_y) / (max_y - min_y);
+      const int col = std::clamp(
+          static_cast<int>(std::lround(fx * (width - 1))), 0, width - 1);
+      const int row = std::clamp(
+          static_cast<int>(std::lround((1.0 - fy) * (height - 1))), 0,
+          height - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = g;
+    }
+  }
+
+  os << "  " << format_double(max_y, 3) << "\n";
+  for (const auto& row : grid) {
+    os << "  |" << row << "\n";
+  }
+  os << "  +" << std::string(static_cast<std::size_t>(width), '-') << "\n";
+  os << "  " << format_double(min_y, 3) << "  x: ["
+     << format_double(log_x ? std::exp2(min_x) : min_x, 1) << ", "
+     << format_double(log_x ? std::exp2(max_x) : max_x, 1) << "]"
+     << (log_x ? " (log2 x-axis)" : "");
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "   " << glyphs[si % sizeof(glyphs)] << "=" << series[si].name;
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string table(const std::vector<std::string>& header,
+                  const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    widths[c] = header[c].size();
+  }
+  for (const auto& row : rows) {
+    BF_CHECK_MSG(row.size() == header.size(), "ragged table row");
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "  ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  emit_row(header);
+  os << "  ";
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    os << std::string(widths[c], '-') << "  ";
+  }
+  os << "\n";
+  for (const auto& row : rows) emit_row(row);
+  return os.str();
+}
+
+std::string cell(double v, int precision) {
+  return format_double(v, precision);
+}
+
+}  // namespace bf::report

@@ -1,0 +1,37 @@
+// Plain-text renderings of the paper's figures: horizontal bar charts for
+// variable importance (Figs 2a/3a/4a/5a/6a/8a/8b), x-y series plots for
+// partial dependence and measured-vs-predicted curves (Figs 2b..8c), and
+// aligned tables (Tables 1 and 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bf::report {
+
+/// Horizontal bar chart; bars are scaled to the largest |value|.
+std::string bar_chart(const std::string& title,
+                      const std::vector<std::pair<std::string, double>>& bars,
+                      int width = 48);
+
+/// One named series of (x, y) points.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// ASCII scatter/line plot of one or more series on shared axes. Each
+/// series is drawn with its own glyph ('*', 'o', '+', ...).
+std::string xy_plot(const std::string& title,
+                    const std::vector<Series>& series, int width = 64,
+                    int height = 18, bool log_x = false);
+
+/// Aligned table: header row + string cells.
+std::string table(const std::vector<std::string>& header,
+                  const std::vector<std::vector<std::string>>& rows);
+
+/// Format helper: fixed-width double rendering for table cells.
+std::string cell(double v, int precision = 3);
+
+}  // namespace bf::report

@@ -1,0 +1,226 @@
+// Tests for shared-memory atomics (the histogram contention signature)
+// and random-forest serialisation.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gpusim/engine.hpp"
+#include "gpusim/sharedmem.hpp"
+#include "kernels/kernel_base.hpp"
+#include "kernels/misc.hpp"
+#include "ml/forest.hpp"
+#include "profiling/workloads.hpp"
+
+namespace bf {
+namespace {
+
+using gpusim::Event;
+using kernels::lane_addrs;
+
+// ---- atomic conflict model ----
+
+gpusim::WarpInstr atomic_to(const std::vector<std::uint32_t>& lane_addr) {
+  gpusim::WarpInstr in;
+  in.op = gpusim::Op::kAtomicShared;
+  in.mask = gpusim::mask_first_lanes(static_cast<int>(lane_addr.size()));
+  for (std::size_t i = 0; i < lane_addr.size(); ++i) {
+    in.addr[i] = lane_addr[i];
+  }
+  return in;
+}
+
+TEST(SharedAtomics, SameAddressFullySerialises) {
+  // All 32 lanes atomicAdd the same word: 32 passes (a broadcast load
+  // would be 1).
+  std::vector<std::uint32_t> addrs(32, 64);
+  EXPECT_EQ(gpusim::shared_atomic_passes(atomic_to(addrs), gpusim::gtx580()),
+            32);
+}
+
+TEST(SharedAtomics, DistinctBanksConflictFree) {
+  std::vector<std::uint32_t> addrs;
+  for (int lane = 0; lane < 32; ++lane) {
+    addrs.push_back(4u * static_cast<std::uint32_t>(lane));
+  }
+  EXPECT_EQ(gpusim::shared_atomic_passes(atomic_to(addrs), gpusim::gtx580()),
+            1);
+}
+
+TEST(SharedAtomics, HalfCollisions) {
+  // Lanes pair up on 16 distinct words in distinct banks: 2 passes.
+  std::vector<std::uint32_t> addrs;
+  for (int lane = 0; lane < 32; ++lane) {
+    addrs.push_back(4u * static_cast<std::uint32_t>(lane / 2));
+  }
+  EXPECT_EQ(gpusim::shared_atomic_passes(atomic_to(addrs), gpusim::gtx580()),
+            2);
+}
+
+TEST(SharedAtomics, PlainOpRejected) {
+  auto in = atomic_to(std::vector<std::uint32_t>(32, 0));
+  in.op = gpusim::Op::kLdShared;
+  EXPECT_THROW(gpusim::shared_atomic_passes(in, gpusim::gtx580()), Error);
+}
+
+// ---- histogram kernel ----
+
+TEST(Histogram, SkewDrivesContentionAndTime) {
+  const gpusim::Device device(gpusim::gtx580());
+  const auto uniform =
+      device.run(kernels::HistogramKernel(1 << 20, 256, 0.0));
+  const auto skewed =
+      device.run(kernels::HistogramKernel(1 << 20, 256, 0.95));
+  EXPECT_GT(skewed.counters.get(Event::kSharedBankConflict),
+            3.0 * uniform.counters.get(Event::kSharedBankConflict));
+  EXPECT_GT(skewed.time_ms, 1.5 * uniform.time_ms);
+  // Same memory traffic either way: the contention is the only change.
+  EXPECT_NEAR(skewed.counters.get(Event::kGldRequest),
+              uniform.counters.get(Event::kGldRequest),
+              0.01 * uniform.counters.get(Event::kGldRequest));
+}
+
+TEST(Histogram, BinDistributionMatchesSkew) {
+  const kernels::HistogramKernel uniform(1 << 16, 256, 0.0);
+  const kernels::HistogramKernel skewed(1 << 16, 256, 0.9);
+  int uniform_zero = 0;
+  int skewed_zero = 0;
+  for (std::int64_t e = 0; e < (1 << 14); ++e) {
+    uniform_zero += uniform.bin_of(e) == 0;
+    skewed_zero += skewed.bin_of(e) == 0;
+  }
+  EXPECT_LT(uniform_zero, (1 << 14) / 64);       // ~1/256 expected
+  EXPECT_GT(skewed_zero, (1 << 14) * 85 / 100);  // ~90% expected
+}
+
+TEST(Histogram, WorkloadRegistered) {
+  EXPECT_NO_THROW(profiling::workload_by_name("histogram_s00"));
+  EXPECT_NO_THROW(profiling::workload_by_name("histogram_s90"));
+}
+
+TEST(Histogram, InputValidation) {
+  EXPECT_THROW(kernels::HistogramKernel(0, 256, 0.0), Error);
+  EXPECT_THROW(kernels::HistogramKernel(1024, 1, 0.0), Error);
+  EXPECT_THROW(kernels::HistogramKernel(1024, 256, 1.5), Error);
+}
+
+// ---- forest serialisation ----
+
+ml::RandomForest make_forest(std::size_t n_trees = 60) {
+  Rng rng(99);
+  linalg::Matrix x(80, 2);
+  std::vector<double> y(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    x(i, 0) = rng.uniform(0, 10);
+    x(i, 1) = rng.uniform(0, 10);
+    y[i] = 4.0 * x(i, 0) - x(i, 1) + rng.normal(0, 0.3);
+  }
+  ml::RandomForest rf;
+  ml::ForestParams p;
+  p.n_trees = n_trees;
+  p.seed = 17;
+  rf.fit(x, y, {"alpha", "beta"}, p);
+  return rf;
+}
+
+TEST(ForestSerialization, RoundTripPreservesEverything) {
+  const auto rf = make_forest();
+  std::stringstream ss;
+  rf.save(ss);
+  const auto back = ml::RandomForest::load(ss);
+
+  EXPECT_EQ(back.n_trees(), rf.n_trees());
+  EXPECT_EQ(back.feature_names(), rf.feature_names());
+  EXPECT_DOUBLE_EQ(back.oob_mse(), rf.oob_mse());
+  EXPECT_DOUBLE_EQ(back.pct_var_explained(), rf.pct_var_explained());
+
+  // Predictions identical on a probe grid.
+  for (double a = 0; a <= 10; a += 2.5) {
+    for (double b = 0; b <= 10; b += 2.5) {
+      const double row[2] = {a, b};
+      EXPECT_DOUBLE_EQ(back.predict_row(row), rf.predict_row(row));
+    }
+  }
+  // Importance identical.
+  const auto ia = rf.importance();
+  const auto ib = back.importance();
+  ASSERT_EQ(ia.size(), ib.size());
+  for (std::size_t i = 0; i < ia.size(); ++i) {
+    EXPECT_EQ(ia[i].name, ib[i].name);
+    EXPECT_DOUBLE_EQ(ia[i].pct_inc_mse, ib[i].pct_inc_mse);
+  }
+  // Partial dependence (needs the retained training data) identical.
+  const auto pa = rf.partial_dependence("alpha", 8);
+  const auto pb = back.partial_dependence("alpha", 8);
+  for (std::size_t g = 0; g < pa.size(); ++g) {
+    EXPECT_DOUBLE_EQ(pa[g].y, pb[g].y);
+  }
+}
+
+TEST(ForestSerialization, FileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("bf_forest_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "model.bf").string();
+  const auto rf = make_forest(20);
+  rf.save_file(path);
+  const auto back = ml::RandomForest::load_file(path);
+  const double row[2] = {3.0, 7.0};
+  EXPECT_DOUBLE_EQ(back.predict_row(row), rf.predict_row(row));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ForestSerialization, MalformedInputRejected) {
+  std::stringstream empty;
+  EXPECT_THROW(ml::RandomForest::load(empty), Error);
+  std::stringstream wrong("bf_forest 2\n");
+  EXPECT_THROW(ml::RandomForest::load(wrong), Error);
+  std::stringstream truncated("bf_forest 1\nfeatures 2 a b\n");
+  EXPECT_THROW(ml::RandomForest::load(truncated), Error);
+}
+
+TEST(ForestSerialization, UnfittedSaveRejected) {
+  ml::RandomForest rf;
+  std::stringstream ss;
+  EXPECT_THROW(rf.save(ss), Error);
+}
+
+// ---- engine barrier semantics under mismatched sync counts ----
+
+TEST(EngineBarrier, ExitedWarpsReleaseBarriers) {
+  // Warps emit different numbers of __syncthreads(). Like real hardware
+  // (where exited threads no longer participate in barriers), the engine
+  // counts only live warps, so this shape completes instead of hanging.
+  class MismatchedKernel final : public gpusim::TraceKernel {
+   public:
+    std::string name() const override { return "barrier_mismatch"; }
+    gpusim::LaunchGeometry geometry() const override {
+      gpusim::LaunchGeometry g;
+      g.grid_x = 1;
+      g.block_x = 64;
+      g.registers_per_thread = 16;
+      return g;
+    }
+    void emit_warp(int /*block*/, int warp,
+                   gpusim::TraceSink& sink) const override {
+      sink.alu(gpusim::kFullMask, 1);
+      sink.sync();
+      if (warp == 1) {
+        sink.sync();  // warp 0 has already exited by now
+        sink.alu(gpusim::kFullMask, 1);
+      }
+    }
+  };
+  const gpusim::Device device(gpusim::gtx580());
+  gpusim::RunResult r;
+  ASSERT_NO_THROW(r = device.run(MismatchedKernel{}));
+  // alu+sync per warp, plus warp 1's extra sync+alu.
+  EXPECT_DOUBLE_EQ(r.counters.get(Event::kInstExecuted), 6.0);
+}
+
+}  // namespace
+}  // namespace bf

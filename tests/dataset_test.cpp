@@ -1,0 +1,207 @@
+// Tests for bf::ml::Dataset and train/test splitting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "ml/dataset.hpp"
+#include "ml/metrics.hpp"
+
+namespace bf::ml {
+namespace {
+
+Dataset make_small() {
+  Dataset ds;
+  ds.add_column("x", {1, 2, 3, 4});
+  ds.add_column("y", {10, 20, 30, 40});
+  return ds;
+}
+
+TEST(Dataset, AddColumnAndAccess) {
+  const Dataset ds = make_small();
+  EXPECT_EQ(ds.num_rows(), 4u);
+  EXPECT_EQ(ds.num_cols(), 2u);
+  EXPECT_DOUBLE_EQ(ds.at(2, "y"), 30.0);
+  EXPECT_EQ(ds.column_index("y"), 1u);
+  EXPECT_THROW(ds.column("z"), Error);
+}
+
+TEST(Dataset, RejectsDuplicatesAndRaggedColumns) {
+  Dataset ds = make_small();
+  EXPECT_THROW(ds.add_column("x", {0, 0, 0, 0}), Error);
+  EXPECT_THROW(ds.add_column("z", {1, 2}), Error);
+}
+
+TEST(Dataset, AddRow) {
+  Dataset ds = make_small();
+  ds.add_row({5, 50});
+  EXPECT_EQ(ds.num_rows(), 5u);
+  EXPECT_DOUBLE_EQ(ds.at(4, "y"), 50.0);
+  EXPECT_THROW(ds.add_row({1}), Error);
+}
+
+TEST(Dataset, SelectRowsWithRepeats) {
+  const Dataset ds = make_small();
+  const Dataset sel = ds.select_rows({3, 0, 0});
+  EXPECT_EQ(sel.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(sel.at(0, "x"), 4.0);
+  EXPECT_DOUBLE_EQ(sel.at(1, "x"), 1.0);
+  EXPECT_DOUBLE_EQ(sel.at(2, "x"), 1.0);
+  EXPECT_THROW(ds.select_rows({4}), Error);
+}
+
+TEST(Dataset, SelectAndDropColumns) {
+  const Dataset ds = make_small();
+  const Dataset sel = ds.select_columns({"y"});
+  EXPECT_EQ(sel.num_cols(), 1u);
+  EXPECT_EQ(sel.column_names()[0], "y");
+  const Dataset dropped = ds.drop_columns({"y", "nonexistent"});
+  EXPECT_EQ(dropped.num_cols(), 1u);
+  EXPECT_TRUE(dropped.has_column("x"));
+}
+
+TEST(Dataset, DropConstantColumns) {
+  Dataset ds;
+  ds.add_column("varying", {1, 2, 3});
+  ds.add_column("constant", {7, 7, 7});
+  ds.add_column("nearly", {1.0, 1.0 + 1e-15, 1.0});
+  const auto dropped = ds.drop_constant_columns();
+  EXPECT_EQ(dropped.size(), 2u);
+  EXPECT_EQ(ds.num_cols(), 1u);
+  EXPECT_TRUE(ds.has_column("varying"));
+}
+
+TEST(Dataset, ToMatrixColumnOrder) {
+  const Dataset ds = make_small();
+  const auto m = ds.to_matrix({"y", "x"});
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 20.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 2.0);
+}
+
+TEST(Dataset, ConcatRequiresSameSchema) {
+  const Dataset a = make_small();
+  Dataset b;
+  b.add_column("x", {9});
+  b.add_column("y", {90});
+  const Dataset c = Dataset::concat(a, b);
+  EXPECT_EQ(c.num_rows(), 5u);
+  EXPECT_DOUBLE_EQ(c.at(4, "y"), 90.0);
+
+  Dataset wrong;
+  wrong.add_column("x", {1});
+  EXPECT_THROW(Dataset::concat(a, wrong), Error);
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  const Dataset ds = make_small();
+  const Dataset back = Dataset::from_csv(ds.to_csv());
+  EXPECT_EQ(back.column_names(), ds.column_names());
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(back.at(r, "x"), ds.at(r, "x"));
+    EXPECT_DOUBLE_EQ(back.at(r, "y"), ds.at(r, "y"));
+  }
+}
+
+TEST(TrainTestSplit, PartitionIsDisjointAndComplete) {
+  Dataset ds;
+  std::vector<double> ids(50);
+  for (std::size_t i = 0; i < 50; ++i) ids[i] = static_cast<double>(i);
+  ds.add_column("id", ids);
+  Rng rng(42);
+  const auto split = train_test_split(ds, 0.2, rng);
+  EXPECT_EQ(split.train.num_rows() + split.test.num_rows(), 50u);
+  EXPECT_EQ(split.test.num_rows(), 10u);
+
+  std::set<double> seen;
+  for (std::size_t r = 0; r < split.train.num_rows(); ++r) {
+    seen.insert(split.train.at(r, "id"));
+  }
+  for (std::size_t r = 0; r < split.test.num_rows(); ++r) {
+    const bool inserted = seen.insert(split.test.at(r, "id")).second;
+    EXPECT_TRUE(inserted) << "row leaked into both sides";
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(TrainTestSplit, AtLeastOneTestRowWhenRequested) {
+  Dataset ds;
+  ds.add_column("x", {1, 2, 3});
+  Rng rng(1);
+  const auto split = train_test_split(ds, 0.01, rng);
+  EXPECT_EQ(split.test.num_rows(), 1u);
+  EXPECT_EQ(split.train.num_rows(), 2u);
+}
+
+TEST(TrainTestSplit, ZeroFractionGivesEmptyTest) {
+  Dataset ds;
+  ds.add_column("x", {1, 2, 3});
+  Rng rng(1);
+  const auto split = train_test_split(ds, 0.0, rng);
+  EXPECT_EQ(split.test.num_rows(), 0u);
+  EXPECT_EQ(split.train.num_rows(), 3u);
+}
+
+TEST(TrainTestSplit, DeterministicPerSeed) {
+  Dataset ds;
+  std::vector<double> ids(20);
+  for (std::size_t i = 0; i < 20; ++i) ids[i] = static_cast<double>(i);
+  ds.add_column("id", ids);
+  Rng a(5);
+  Rng b(5);
+  const auto sa = train_test_split(ds, 0.25, a);
+  const auto sb = train_test_split(ds, 0.25, b);
+  EXPECT_EQ(sa.test_indices, sb.test_indices);
+}
+
+// ---- metrics ----
+
+TEST(Metrics, MseRmseMae) {
+  const std::vector<double> t{1, 2, 3};
+  const std::vector<double> p{1, 2, 6};
+  EXPECT_DOUBLE_EQ(mse(t, p), 3.0);
+  EXPECT_DOUBLE_EQ(rmse(t, p), std::sqrt(3.0));
+  EXPECT_DOUBLE_EQ(mae(t, p), 1.0);
+}
+
+TEST(Metrics, R2PerfectAndMeanPredictor) {
+  const std::vector<double> t{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r2(t, t), 1.0);
+  const std::vector<double> mean_pred(4, 2.5);
+  EXPECT_NEAR(r2(t, mean_pred), 0.0, 1e-12);
+}
+
+TEST(Metrics, ExplainedVariance) {
+  const std::vector<double> t{0, 2, 4, 6};
+  EXPECT_DOUBLE_EQ(explained_variance(t, t), 1.0);
+}
+
+TEST(Metrics, MedianAbsPctError) {
+  const std::vector<double> t{100, 200, 400};
+  const std::vector<double> p{110, 180, 400};
+  // errors: 10%, 10%, 0% -> median 10%.
+  EXPECT_NEAR(median_abs_pct_error(t, p), 10.0, 1e-12);
+}
+
+TEST(Metrics, PearsonKnown) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  const std::vector<double> c{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+  const std::vector<double> constant(4, 5.0);
+  EXPECT_DOUBLE_EQ(pearson(a, constant), 0.0);
+}
+
+TEST(Metrics, BasicStats) {
+  const std::vector<double> v{2, 4, 6};
+  EXPECT_DOUBLE_EQ(mean(v), 4.0);
+  EXPECT_NEAR(variance(v), 8.0 / 3.0, 1e-12);
+  EXPECT_NEAR(sample_sd(v), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sample_sd({1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace bf::ml

@@ -1,0 +1,203 @@
+// Property-style sweeps over the simulator and the metric derivation:
+// invariants that must hold for every workload/architecture/size
+// combination, plus exact-formula checks of the nvprof metric layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "gpusim/engine.hpp"
+#include "kernels/kernel_base.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/misc.hpp"
+#include "kernels/nw.hpp"
+#include "kernels/reduce.hpp"
+#include "profiling/profiler.hpp"
+#include "profiling/workloads.hpp"
+
+namespace bf {
+namespace {
+
+using gpusim::Device;
+using gpusim::Event;
+
+// ---- invariants across workload x architecture ----
+
+class WorkloadArchSweep
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, const char*>> {};
+
+TEST_P(WorkloadArchSweep, CountersSatisfyUniversalInvariants) {
+  const auto [workload_name, arch_name] = GetParam();
+  const Device device(gpusim::arch_by_name(arch_name));
+  profiling::Profiler profiler;
+  const auto w = profiling::workload_by_name(workload_name);
+  const double size =
+      std::string(workload_name) == "matrixMul" ||
+              std::string(workload_name).rfind("transpose", 0) == 0 ||
+              std::string(workload_name) == "stencil5"
+          ? 256
+          : (std::string(workload_name) == "needle" ? 512 : 1 << 17);
+  const auto r = profiler.profile(w, device, size);
+  const auto& m = r.counters;
+
+  EXPECT_GT(r.time_ms, 0.0);
+  EXPECT_GE(m.at("inst_issued"), m.at("inst_executed") * 0.99);
+  EXPECT_GE(m.at("branch"), m.at("divergent_branch"));
+  EXPECT_GT(m.at("ipc"), 0.0);
+  // Peak executed IPC per SM: one instruction per dispatch slot.
+  const double ipc_cap = device.arch().warp_schedulers_per_sm *
+                         device.arch().dispatch_units_per_scheduler;
+  EXPECT_LE(m.at("ipc"), ipc_cap * 1.01);
+  EXPECT_GT(m.at("achieved_occupancy"), 0.0);
+  EXPECT_LE(m.at("achieved_occupancy"), 1.0 + 1e-9);
+  EXPECT_GT(m.at("warp_execution_efficiency"), 0.0);
+  EXPECT_LE(m.at("warp_execution_efficiency"), 1.0 + 1e-9);
+  EXPECT_GE(m.at("inst_replay_overhead"), 0.0);
+  EXPECT_LE(m.at("issue_slot_utilization"), 1.0 + 1e-9);
+  EXPECT_GE(m.at("gld_efficiency"), 0.0);
+  EXPECT_LE(m.at("gld_efficiency"), 1.01);
+  // Requested bytes can never exceed moved bytes.
+  EXPECT_LE(m.at("gld_requested_throughput"),
+            m.at("gld_throughput") * 1.01);
+  // Generation-specific counter availability.
+  const bool fermi =
+      device.arch().generation == gpusim::Generation::kFermi;
+  EXPECT_EQ(m.count("l1_shared_bank_conflict"), fermi ? 1u : 0u);
+  EXPECT_EQ(m.count("shared_load_replay"), fermi ? 0u : 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WorkloadArchSweep,
+    ::testing::Combine(::testing::Values("reduce0", "reduce1", "reduce2",
+                                         "reduce6", "matrixMul", "needle",
+                                         "vecAdd", "transpose_naive",
+                                         "stencil5"),
+                       ::testing::Values("gtx580", "k20m")));
+
+// ---- time monotonicity in problem size ----
+
+class SizeMonotonicity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SizeMonotonicity, LargerProblemsNeverFaster) {
+  const Device device(gpusim::gtx580());
+  profiling::ProfilerOptions opts;
+  opts.time_noise_sd = 0.0;
+  opts.counter_noise_sd = 0.0;
+  profiling::Profiler profiler(opts);
+  const auto w = profiling::workload_by_name(GetParam());
+  const bool matrix_like = std::string(GetParam()) == "matrixMul";
+  const std::vector<double> sizes =
+      matrix_like ? std::vector<double>{64, 128, 256, 512}
+                  : std::vector<double>{1 << 14, 1 << 16, 1 << 18, 1 << 20};
+  double prev = 0.0;
+  for (const double s : sizes) {
+    const double t = profiler.profile(w, device, s).time_ms;
+    EXPECT_GE(t, prev * 0.999) << "size " << s;
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, SizeMonotonicity,
+                         ::testing::Values("reduce1", "reduce6", "vecAdd",
+                                           "matrixMul"));
+
+// ---- occupancy / latency hiding ----
+
+class BlockSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockSizeSweep, ReductionRunsAtAnyPowerOfTwoBlock) {
+  const int block = GetParam();
+  const Device device(gpusim::gtx580());
+  const auto agg = kernels::simulate_reduction(device, 2, 1 << 18, block);
+  EXPECT_GT(agg.time_ms, 0.0);
+  EXPECT_GT(agg.counters.get(Event::kInstExecuted), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, BlockSizeSweep,
+                         ::testing::Values(64, 128, 256, 512, 1024));
+
+TEST(LatencyHiding, OccupancyImprovesStreamingThroughput) {
+  // vecAdd with tiny blocks (low occupancy) vs big blocks: same work,
+  // the low-occupancy variant must not be faster.
+  const Device device(gpusim::gtx580());
+  const std::int64_t n = 1 << 20;
+  gpusim::AggregateResult small;
+  small.add(device.run(kernels::VecAddKernel(n, 64)));
+  gpusim::AggregateResult big;
+  big.add(device.run(kernels::VecAddKernel(n, 256)));
+  EXPECT_LE(big.time_ms, small.time_ms * 1.05);
+}
+
+// ---- exact metric-derivation formulas on a synthetic counter set ----
+
+TEST(DeriveMetrics, ExactFormulas) {
+  gpusim::CounterSet c;
+  c.set(Event::kInstExecuted, 1000);
+  c.set(Event::kInstIssued, 1200);
+  c.set(Event::kThreadInstExecuted, 1000 * 24);  // 24 active lanes avg
+  c.set(Event::kActiveCycles, 2000);
+  c.set(Event::kActiveWarpCycles, 2000 * 12);    // 12 resident warps avg
+  c.set(Event::kIssueSlotsTotal, 4000);
+  c.set(Event::kSharedBankConflict, 50);
+  c.set(Event::kGlobalLoadBytesRequested, 1e6);
+  c.set(Event::kGlobalLoadTransaction, 10000);   // 10000*128 B moved
+  c.set(Event::kGlobalStoreTransaction, 2000);   // 2000*32 B moved
+  c.set(Event::kGlobalStoreBytesRequested, 48000);
+  c.set(Event::kL2ReadTransactions, 4000);
+  c.set(Event::kDramReadTransactions, 1000);
+  c.set(Event::kElapsedCycles, 3000);
+
+  const auto arch = gpusim::gtx580();
+  const double time_ms = 2.0;  // => 2e-3 s
+  const auto m = profiling::Profiler::derive_metrics(arch, c, time_ms);
+
+  EXPECT_DOUBLE_EQ(m.at("ipc"), 1000.0 / 2000.0);
+  EXPECT_DOUBLE_EQ(m.at("issue_slot_utilization"), 1200.0 / 4000.0);
+  EXPECT_DOUBLE_EQ(m.at("achieved_occupancy"), 12.0 / 48.0);
+  EXPECT_DOUBLE_EQ(m.at("warp_execution_efficiency"), 24.0 / 32.0);
+  EXPECT_DOUBLE_EQ(m.at("inst_replay_overhead"), 200.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(m.at("shared_replay_overhead"), 50.0 / 1000.0);
+  // 1e6 bytes over 2e-3 s = 5e8 B/s = 0.5 GB/s.
+  EXPECT_DOUBLE_EQ(m.at("gld_requested_throughput"), 0.5);
+  // 10000 * 128 B over 2e-3 s = 6.4e8 B/s.
+  EXPECT_DOUBLE_EQ(m.at("gld_throughput"), 0.64);
+  EXPECT_NEAR(m.at("gld_efficiency"), 1e6 / (10000.0 * 128.0), 1e-12);
+  EXPECT_DOUBLE_EQ(m.at("gst_throughput"), 2000.0 * 32.0 / 2e-3 * 1e-9);
+  EXPECT_DOUBLE_EQ(m.at("l2_read_throughput"),
+                   4000.0 * 32.0 / 2e-3 * 1e-9);
+  EXPECT_DOUBLE_EQ(m.at("dram_read_throughput"),
+                   1000.0 * 32.0 / 2e-3 * 1e-9);
+}
+
+TEST(DeriveMetrics, KeplerFiltersFermiCounters) {
+  gpusim::CounterSet c;
+  c.set(Event::kInstExecuted, 10);
+  c.set(Event::kActiveCycles, 10);
+  const auto m =
+      profiling::Profiler::derive_metrics(gpusim::kepler_k20m(), c, 1.0);
+  EXPECT_EQ(m.count("l1_shared_bank_conflict"), 0u);
+  EXPECT_EQ(m.count("shared_load_replay"), 1u);
+  EXPECT_EQ(m.count("shared_store_replay"), 1u);
+}
+
+// ---- NW strip interpolation fidelity ----
+
+TEST(NwSampling, InterpolatedTotalsCloseToExhaustive) {
+  // For a small problem the ladder covers every width, so sampling and
+  // exhaustive execution must agree exactly; for a larger one, closely.
+  const Device device(gpusim::gtx580());
+  const auto small = kernels::simulate_nw(device, 128);  // 8 strips: exact
+  EXPECT_EQ(small.launches, 15);
+  const auto mid = kernels::simulate_nw(device, 1024);
+  // Total tiles = 64^2; each tile does 16 coalesced ref-row loads + 3
+  // matrix loads + writeback: gld_request scales with tiles.
+  const double tiles = 64.0 * 64.0;
+  const double per_tile_requests =
+      mid.counters.get(Event::kGldRequest) / tiles;
+  EXPECT_GT(per_tile_requests, 15.0);
+  EXPECT_LT(per_tile_requests, 25.0);
+}
+
+}  // namespace
+}  // namespace bf

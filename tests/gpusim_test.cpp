@@ -1,0 +1,400 @@
+// Tests for the GPU simulator building blocks: architecture registry,
+// occupancy, coalescing, caches, shared-memory conflicts, counters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+#include "gpusim/arch.hpp"
+#include "gpusim/cache.hpp"
+#include "gpusim/coalescer.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/occupancy.hpp"
+#include "gpusim/sharedmem.hpp"
+
+namespace bf::gpusim {
+namespace {
+
+std::array<std::uint32_t, 32> addrs(std::uint32_t base, std::uint32_t stride) {
+  std::array<std::uint32_t, 32> a{};
+  for (int i = 0; i < 32; ++i) {
+    a[static_cast<std::size_t>(i)] = base + static_cast<std::uint32_t>(i) * stride;
+  }
+  return a;
+}
+
+WarpInstr mem_instr(Op op, std::uint32_t mask,
+                    const std::array<std::uint32_t, 32>& a,
+                    std::uint8_t bytes = 4) {
+  WarpInstr in;
+  in.op = op;
+  in.mask = mask;
+  in.access_bytes = bytes;
+  in.addr = a;
+  return in;
+}
+
+// ---- architecture registry (Table 2) ----
+
+TEST(Arch, RegistryContainsPaperGpus) {
+  EXPECT_NO_THROW(arch_by_name("gtx580"));
+  EXPECT_NO_THROW(arch_by_name("gtx480"));
+  EXPECT_NO_THROW(arch_by_name("k20m"));
+  EXPECT_NO_THROW(arch_by_name("k40"));
+  EXPECT_THROW(arch_by_name("voodoo3"), Error);
+}
+
+TEST(Arch, Table2MachineMetrics) {
+  // The GTX480 and K20m columns of the paper's Table 2.
+  const ArchSpec f = gtx480();
+  EXPECT_EQ(f.warp_schedulers_per_sm, 2);
+  EXPECT_NEAR(f.clock_ghz, 1.4, 1e-9);
+  EXPECT_EQ(f.sm_count, 15);
+  EXPECT_EQ(f.cores_per_sm, 32);
+  EXPECT_NEAR(f.mem_bandwidth_gbs, 177.4, 1e-9);
+  EXPECT_EQ(f.max_registers_per_thread, 63);
+  EXPECT_EQ(f.l2_size_kb, 768);
+
+  const ArchSpec k = kepler_k20m();
+  EXPECT_EQ(k.warp_schedulers_per_sm, 4);
+  EXPECT_EQ(k.sm_count, 13);
+  EXPECT_EQ(k.cores_per_sm, 192);
+  EXPECT_NEAR(k.mem_bandwidth_gbs, 208.0, 1e-9);
+  EXPECT_EQ(k.max_registers_per_thread, 255);
+  EXPECT_EQ(k.l2_size_kb, 1280);
+}
+
+TEST(Arch, GenerationCounterDifferences) {
+  EXPECT_TRUE(gtx580().l1_caches_global_loads);
+  EXPECT_FALSE(kepler_k20m().l1_caches_global_loads);
+}
+
+TEST(Arch, IssueCycles) {
+  EXPECT_EQ(gtx580().arith_issue_cycles(), 2);  // 32 / (32/2)
+  EXPECT_EQ(kepler_k20m().arith_issue_cycles(), 1);
+}
+
+TEST(Arch, MachineCharacteristicsColumns) {
+  const auto cols = machine_characteristics(gtx480());
+  ASSERT_EQ(cols.size(), 7u);
+  EXPECT_EQ(cols[0].first, "wsched");
+  EXPECT_DOUBLE_EQ(cols[0].second, 2.0);
+  EXPECT_EQ(cols[4].first, "mbw");
+  EXPECT_DOUBLE_EQ(cols[4].second, 177.4);
+}
+
+// ---- occupancy ----
+
+TEST(Occupancy, WarpLimited) {
+  // 256-thread blocks, tiny shared/register use: Fermi fits 48/8 = 6
+  // blocks by warps (block limit is 8).
+  LaunchGeometry g;
+  g.block_x = 256;
+  g.registers_per_thread = 16;
+  g.shared_mem_per_block = 1024;
+  const auto occ = compute_occupancy(gtx580(), g);
+  EXPECT_EQ(occ.blocks_per_sm, 6);
+  EXPECT_EQ(occ.warps_per_sm, 48);
+  EXPECT_DOUBLE_EQ(occ.occupancy, 1.0);
+  EXPECT_STREQ(occ.limiter, "warps");
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  LaunchGeometry g;
+  g.block_x = 64;
+  g.registers_per_thread = 16;
+  g.shared_mem_per_block = 24 * 1024;  // 48 KB SM -> 2 blocks
+  const auto occ = compute_occupancy(gtx580(), g);
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_STREQ(occ.limiter, "shared");
+}
+
+TEST(Occupancy, RegisterLimited) {
+  LaunchGeometry g;
+  g.block_x = 256;
+  g.registers_per_thread = 63;
+  // 63*256 = 16128 regs per block; 32768/16128 -> 2 blocks.
+  const auto occ = compute_occupancy(gtx580(), g);
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_STREQ(occ.limiter, "registers");
+}
+
+TEST(Occupancy, BlockSlotLimited) {
+  // Tiny 16-thread NW-style blocks: limited by the 8-block slot cap on
+  // Fermi -> 8 * 1 warp (half full) resident.
+  LaunchGeometry g;
+  g.block_x = 16;
+  g.registers_per_thread = 28;
+  g.shared_mem_per_block = 2048;
+  const auto occ = compute_occupancy(gtx580(), g);
+  EXPECT_EQ(occ.blocks_per_sm, 8);
+  EXPECT_STREQ(occ.limiter, "blocks");
+  EXPECT_LT(occ.occupancy, 0.2);  // the paper's low-occupancy NW story
+}
+
+TEST(Occupancy, KeplerAllowsMoreBlocks) {
+  LaunchGeometry g;
+  g.block_x = 16;
+  g.registers_per_thread = 28;
+  const auto f = compute_occupancy(gtx580(), g);
+  const auto k = compute_occupancy(kepler_k20m(), g);
+  EXPECT_GT(k.blocks_per_sm, f.blocks_per_sm);
+}
+
+TEST(Occupancy, ImpossibleLaunchRejected) {
+  LaunchGeometry g;
+  g.block_x = 2048;  // exceeds 1024 threads/block
+  EXPECT_THROW(compute_occupancy(gtx580(), g), Error);
+  LaunchGeometry s;
+  s.block_x = 64;
+  s.shared_mem_per_block = 64 * 1024;
+  EXPECT_THROW(compute_occupancy(gtx580(), s), Error);
+}
+
+// ---- coalescer ----
+
+TEST(Coalescer, FullyCoalescedSingleSegment) {
+  const auto in = mem_instr(Op::kLdGlobal, kFullMask, addrs(0, 4));
+  EXPECT_EQ(coalesced_transaction_count(in, 128), 1);
+  EXPECT_EQ(coalesced_transaction_count(in, 32), 4);
+}
+
+TEST(Coalescer, MisalignedAccessTouchesTwoSegments) {
+  const auto in = mem_instr(Op::kLdGlobal, kFullMask, addrs(64, 4));
+  EXPECT_EQ(coalesced_transaction_count(in, 128), 2);
+}
+
+TEST(Coalescer, Stride2DoublesSegments) {
+  const auto in = mem_instr(Op::kLdGlobal, kFullMask, addrs(0, 8));
+  EXPECT_EQ(coalesced_transaction_count(in, 128), 2);
+}
+
+TEST(Coalescer, FullyScattered) {
+  // Column access with a large stride: one transaction per lane.
+  const auto in = mem_instr(Op::kLdGlobal, kFullMask, addrs(0, 4096));
+  EXPECT_EQ(coalesced_transaction_count(in, 128), 32);
+  EXPECT_EQ(coalesced_transaction_count(in, 32), 32);
+}
+
+TEST(Coalescer, InactiveLanesIgnored) {
+  const auto in = mem_instr(Op::kLdGlobal, 0x1u, addrs(0, 4096));
+  EXPECT_EQ(coalesced_transaction_count(in, 128), 1);
+}
+
+TEST(Coalescer, BroadcastSameAddress) {
+  const auto in = mem_instr(Op::kLdGlobal, kFullMask, addrs(256, 0));
+  EXPECT_EQ(coalesced_transaction_count(in, 128), 1);
+}
+
+TEST(Coalescer, StraddlingElementCountsBothSegments) {
+  // An 8-byte access at offset 124 crosses the 128 B boundary.
+  std::array<std::uint32_t, 32> a{};
+  a[0] = 124;
+  const auto in = mem_instr(Op::kLdGlobal, 0x1u, a, 8);
+  EXPECT_EQ(coalesced_transaction_count(in, 128), 2);
+}
+
+TEST(Coalescer, SegmentBasesAligned) {
+  const auto in = mem_instr(Op::kLdGlobal, kFullMask, addrs(100, 4));
+  for (const auto seg : coalesce(in, 128)) {
+    EXPECT_EQ(seg % 128, 0u);
+  }
+  EXPECT_THROW(coalesce(in, 100), Error);  // not a power of two
+}
+
+class CoalescerStride : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoalescerStride, TransactionCountMatchesClosedForm) {
+  const int stride = GetParam();
+  const auto in = mem_instr(
+      Op::kLdGlobal, kFullMask,
+      addrs(0, static_cast<std::uint32_t>(stride) * 4));
+  // 32 lanes, 4-byte elements, stride in elements, base aligned:
+  // distinct 128 B segments = ceil(32 * stride * 4 / 128) capped at 32.
+  const int expected =
+      std::min(32, (32 * stride * 4 + 127) / 128);
+  EXPECT_EQ(coalesced_transaction_count(in, 128), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, CoalescerStride,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+// ---- cache ----
+
+TEST(Cache, MissThenHit) {
+  Cache c(1024, 128, 2);
+  EXPECT_FALSE(c.access(0, false).hit);
+  EXPECT_TRUE(c.access(64, false).hit);  // same line
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEviction) {
+  // 2-way set: three distinct lines mapping to one set evict the LRU.
+  Cache c(2 * 128, 128, 2);  // exactly one set
+  c.access(0, false);
+  c.access(128, false);
+  c.access(0, false);        // touch line 0 -> line 128 becomes LRU
+  c.access(256, false);      // evicts 128
+  EXPECT_TRUE(c.access(0, false).hit);
+  EXPECT_FALSE(c.access(128, false).hit);
+}
+
+TEST(Cache, DirtyEvictionReported) {
+  Cache c(2 * 128, 128, 2);
+  c.access(0, true);  // dirty
+  c.access(128, false);
+  const auto r = c.access(256, false);  // evicts dirty line 0
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(c.stats().dirty_evictions, 1u);
+}
+
+TEST(Cache, FlushDirtyCountsAndClears) {
+  Cache c(4 * 128, 128, 4);
+  c.access(0, true);
+  c.access(128, true);
+  c.access(256, false);
+  EXPECT_EQ(c.flush_dirty(), 2u);
+  EXPECT_EQ(c.flush_dirty(), 0u);
+}
+
+TEST(Cache, ProbeDoesNotAllocate) {
+  Cache c(1024, 128, 2);
+  EXPECT_FALSE(c.probe(0));
+  EXPECT_EQ(c.stats().misses, 0u);
+  c.access(0, false);
+  EXPECT_TRUE(c.probe(0));
+}
+
+TEST(Cache, ZeroSizeAlwaysMisses) {
+  Cache c(0, 128, 4);
+  EXPECT_FALSE(c.access(0, false).hit);
+  EXPECT_FALSE(c.access(0, false).hit);
+  EXPECT_EQ(c.stats().hits, 0u);
+}
+
+TEST(Cache, WorkingSetSweep) {
+  // Working sets smaller than the cache hit on re-traversal; larger ones
+  // thrash (LRU + sequential scan = worst case).
+  Cache c(16 * 1024, 128, 8);
+  const auto traverse = [&](std::uint64_t lines) {
+    for (std::uint64_t i = 0; i < lines; ++i) c.access(i * 128, false);
+  };
+  traverse(64);   // 8 KB working set, cold
+  const auto before = c.stats().hits;
+  traverse(64);   // fits in 16 KB: all hits
+  EXPECT_EQ(c.stats().hits - before, 64u);
+
+  c.reset();
+  traverse(256);  // 32 KB working set
+  const auto before2 = c.stats().hits;
+  traverse(256);
+  EXPECT_EQ(c.stats().hits - before2, 0u);  // fully thrashed
+}
+
+TEST(Cache, InvalidConfigRejected) {
+  EXPECT_THROW(Cache(1024, 100, 2), Error);
+  EXPECT_THROW(Cache(1024, 128, 0), Error);
+}
+
+// ---- shared memory ----
+
+TEST(SharedMem, ConsecutiveWordsConflictFree) {
+  const auto in = mem_instr(Op::kLdShared, kFullMask, addrs(0, 4));
+  EXPECT_EQ(shared_access_passes(in, gtx580()), 1);
+}
+
+TEST(SharedMem, BroadcastIsFree) {
+  const auto in = mem_instr(Op::kLdShared, kFullMask, addrs(128, 0));
+  EXPECT_EQ(shared_access_passes(in, gtx580()), 1);
+}
+
+TEST(SharedMem, Stride2TwoWayConflict) {
+  const auto in = mem_instr(Op::kStShared, kFullMask, addrs(0, 8));
+  EXPECT_EQ(shared_access_passes(in, gtx580()), 2);
+  EXPECT_EQ(shared_conflict_replays(in, gtx580()), 1);
+}
+
+TEST(SharedMem, Stride32FullSerialisation) {
+  // Word stride 32: every lane hits bank 0 with a distinct word.
+  const auto in = mem_instr(Op::kLdShared, kFullMask, addrs(0, 128));
+  EXPECT_EQ(shared_access_passes(in, gtx580()), 32);
+}
+
+TEST(SharedMem, PaddedStride33ConflictFree) {
+  // The tile[32][33] trick: stride 33 words visits all banks.
+  const auto in = mem_instr(Op::kLdShared, kFullMask, addrs(0, 33 * 4));
+  EXPECT_EQ(shared_access_passes(in, gtx580()), 1);
+}
+
+TEST(SharedMem, MaskedLanesDontConflict) {
+  // Only 4 active lanes at stride 32 words -> 4 passes, not 32.
+  const auto in = mem_instr(Op::kLdShared, 0xFu, addrs(0, 128));
+  EXPECT_EQ(shared_access_passes(in, gtx580()), 4);
+}
+
+TEST(SharedMem, NonSharedOpRejected) {
+  const auto in = mem_instr(Op::kLdGlobal, kFullMask, addrs(0, 4));
+  EXPECT_THROW(shared_access_passes(in, gtx580()), Error);
+}
+
+class SharedStrideSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SharedStrideSweep, PassesMatchGcdFormula) {
+  const int stride = GetParam();
+  const auto in = mem_instr(
+      Op::kLdShared, kFullMask,
+      addrs(0, static_cast<std::uint32_t>(stride) * 4));
+  // For word stride s over 32 banks and 32 lanes with distinct words,
+  // the conflict degree is gcd-based: lanes per bank = 32 / (32/gcd(s,32))
+  // = gcd(s, 32).
+  const int expected = std::gcd(stride, 32);
+  EXPECT_EQ(shared_access_passes(in, gtx580()), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, SharedStrideSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 16, 32));
+
+// ---- counters ----
+
+TEST(Counters, NamesAreUniqueAndStable) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    names.insert(event_name(static_cast<Event>(i)));
+  }
+  EXPECT_EQ(names.size(), kNumEvents);
+  EXPECT_STREQ(event_name(Event::kInstExecuted), "inst_executed");
+}
+
+TEST(Counters, AccumulateAndScale) {
+  CounterSet a;
+  a.add(Event::kGldRequest, 10);
+  CounterSet b;
+  b.add(Event::kGldRequest, 5);
+  b.add(Event::kGstRequest, 2);
+  a.accumulate(b);
+  EXPECT_DOUBLE_EQ(a.get(Event::kGldRequest), 15.0);
+  EXPECT_DOUBLE_EQ(a.get(Event::kGstRequest), 2.0);
+  a.scale(2.0);
+  EXPECT_DOUBLE_EQ(a.get(Event::kGldRequest), 30.0);
+}
+
+TEST(Counters, NamedExport) {
+  CounterSet c;
+  c.set(Event::kBranch, 7);
+  const auto named = c.named();
+  EXPECT_EQ(named.size(), kNumEvents);
+  bool found = false;
+  for (const auto& [name, value] : named) {
+    if (name == "branch") {
+      EXPECT_DOUBLE_EQ(value, 7.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace bf::gpusim

@@ -1,0 +1,251 @@
+// Tests for bf::linalg: Matrix, Cholesky/QR solvers, Jacobi eigensolver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+
+namespace bf::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+  EXPECT_THROW(m(2, 0), Error);
+  EXPECT_THROW(m(0, 3), Error);
+}
+
+TEST(Matrix, InitializerListAndTranspose) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), Error);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, Error);
+}
+
+TEST(Matrix, IdentityNeutral) {
+  Rng rng(1);
+  Matrix a(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.normal();
+  }
+  const Matrix i4 = Matrix::identity(4);
+  EXPECT_LT(Matrix::max_abs_diff(a * i4, a), 1e-12);
+  EXPECT_LT(Matrix::max_abs_diff(i4 * a, a), 1e-12);
+}
+
+TEST(Matrix, ApplyMatchesMultiply) {
+  const Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const std::vector<double> x{10, 20};
+  const auto y = a.apply(x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 50.0);
+  EXPECT_DOUBLE_EQ(y[2], 170.0);
+}
+
+TEST(Matrix, ColumnAccessors) {
+  Matrix m{{1, 2}, {3, 4}};
+  const auto c1 = m.column_vec(1);
+  EXPECT_DOUBLE_EQ(c1[0], 2.0);
+  EXPECT_DOUBLE_EQ(c1[1], 4.0);
+  m.set_column(0, {9, 8});
+  EXPECT_DOUBLE_EQ(m(1, 0), 8.0);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix m{{3, 4}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
+  EXPECT_THROW(dot({1}, {1, 2}), Error);
+}
+
+// ---- Cholesky ----
+
+TEST(Cholesky, SolvesKnownSpdSystem) {
+  const Matrix a{{4, 2}, {2, 3}};
+  const auto x = cholesky_solve(a, {10, 9});
+  // Solution of [[4,2],[2,3]] x = [10,9] is x = [1.5, 2].
+  EXPECT_NEAR(x[0], 1.5, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const Matrix a{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky_solve(a, {1, 1}), Error);
+}
+
+TEST(Cholesky, RandomSpdRoundTrip) {
+  Rng rng(2);
+  const std::size_t n = 6;
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  }
+  const Matrix a = b.transpose() * b + Matrix::identity(n) * 0.5;
+  std::vector<double> truth(n);
+  for (auto& v : truth) v = rng.normal();
+  const auto rhs = a.apply(truth);
+  const auto x = cholesky_solve(a, rhs);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], truth[i], 1e-9);
+  }
+}
+
+// ---- QR least squares ----
+
+TEST(QrLeastSquares, ExactOnConsistentSystem) {
+  // y = 2 + 3x sampled without noise.
+  Matrix a(5, 2);
+  std::vector<double> y(5);
+  for (int i = 0; i < 5; ++i) {
+    a(static_cast<std::size_t>(i), 0) = 1.0;
+    a(static_cast<std::size_t>(i), 1) = i;
+    y[static_cast<std::size_t>(i)] = 2.0 + 3.0 * i;
+  }
+  const auto sol = qr_least_squares(a, y);
+  EXPECT_EQ(sol.rank, 2u);
+  EXPECT_NEAR(sol.coefficients[0], 2.0, 1e-10);
+  EXPECT_NEAR(sol.coefficients[1], 3.0, 1e-10);
+  EXPECT_NEAR(sol.residual_norm, 0.0, 1e-9);
+}
+
+TEST(QrLeastSquares, MinimisesResidual) {
+  // Overdetermined noisy system: residual must beat small perturbations.
+  Rng rng(3);
+  Matrix a(20, 3);
+  std::vector<double> y(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = rng.normal();
+    a(i, 2) = rng.normal();
+    y[i] = 1.0 + 0.5 * a(i, 1) - 2.0 * a(i, 2) + 0.1 * rng.normal();
+  }
+  const auto sol = qr_least_squares(a, y);
+  const auto residual_of = [&](const std::vector<double>& c) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < 20; ++i) {
+      const double pred = c[0] * a(i, 0) + c[1] * a(i, 1) + c[2] * a(i, 2);
+      acc += (y[i] - pred) * (y[i] - pred);
+    }
+    return std::sqrt(acc);
+  };
+  const double base = residual_of(sol.coefficients);
+  EXPECT_NEAR(base, sol.residual_norm, 1e-9);
+  for (std::size_t j = 0; j < 3; ++j) {
+    auto perturbed = sol.coefficients;
+    perturbed[j] += 0.01;
+    EXPECT_GE(residual_of(perturbed), base);
+  }
+}
+
+TEST(QrLeastSquares, RankDeficientColumnsGetZero) {
+  // Third column duplicates the second: rank 2.
+  Matrix a(6, 3);
+  std::vector<double> y(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = static_cast<double>(i);
+    a(i, 2) = static_cast<double>(i);
+    y[i] = 1.0 + 2.0 * static_cast<double>(i);
+  }
+  const auto sol = qr_least_squares(a, y);
+  EXPECT_EQ(sol.rank, 2u);
+  // The fit itself must still be exact.
+  for (std::size_t i = 0; i < 6; ++i) {
+    const double pred = sol.coefficients[0] + sol.coefficients[1] * a(i, 1) +
+                        sol.coefficients[2] * a(i, 2);
+    EXPECT_NEAR(pred, y[i], 1e-9);
+  }
+}
+
+// ---- Jacobi eigensolver ----
+
+TEST(Eigen, Known2x2) {
+  const Matrix a{{2, 1}, {1, 2}};  // eigenvalues 3 and 1
+  const auto res = symmetric_eigen(a);
+  ASSERT_EQ(res.values.size(), 2u);
+  EXPECT_NEAR(res.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(res.values[1], 1.0, 1e-10);
+  // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(res.vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(Eigen, DiagonalMatrixSortedDescending) {
+  Matrix a(3, 3, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = 5.0;
+  a(2, 2) = 3.0;
+  const auto res = symmetric_eigen(a);
+  EXPECT_NEAR(res.values[0], 5.0, 1e-12);
+  EXPECT_NEAR(res.values[1], 3.0, 1e-12);
+  EXPECT_NEAR(res.values[2], 1.0, 1e-12);
+}
+
+TEST(Eigen, NonSquareRejected) {
+  EXPECT_THROW(symmetric_eigen(Matrix(2, 3)), Error);
+}
+
+class EigenProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenProperty, ReconstructionAndOrthonormality) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 31 + 7);
+  Matrix b(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < b.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) b(i, j) = rng.normal();
+  }
+  const Matrix a = (b + b.transpose()) * 0.5;
+  const auto res = symmetric_eigen(a);
+
+  // V^T V = I.
+  const Matrix vtv = res.vectors.transpose() * res.vectors;
+  EXPECT_LT(Matrix::max_abs_diff(vtv, Matrix::identity(b.rows())), 1e-8);
+
+  // V diag(lambda) V^T = A.
+  Matrix lam(b.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < res.values.size(); ++i) {
+    lam(i, i) = res.values[i];
+  }
+  const Matrix recon = res.vectors * lam * res.vectors.transpose();
+  EXPECT_LT(Matrix::max_abs_diff(recon, a), 1e-8);
+
+  // Eigenvalues sorted descending.
+  for (std::size_t i = 1; i < res.values.size(); ++i) {
+    EXPECT_GE(res.values[i - 1], res.values[i] - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenProperty,
+                         ::testing::Values(2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace bf::linalg

@@ -1,0 +1,190 @@
+// Tests for PCA and varimax rotation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/pca.hpp"
+
+namespace bf::ml {
+namespace {
+
+TEST(Pca, RecoversDominantDirection) {
+  // Points along y = 2x with small perpendicular noise: PC1 must align
+  // with (1, 2)/sqrt(5).
+  Rng rng(1);
+  linalg::Matrix x(300, 2);
+  for (std::size_t i = 0; i < 300; ++i) {
+    const double t = rng.normal(0.0, 3.0);
+    const double noise = rng.normal(0.0, 0.05);
+    x(i, 0) = t - 2.0 * noise;
+    x(i, 1) = 2.0 * t + noise;
+  }
+  Pca pca;
+  PcaParams params;
+  params.scale = false;
+  pca.fit(x, {"a", "b"}, params);
+  const double r0 = pca.rotation()(0, 0);
+  const double r1 = pca.rotation()(1, 0);
+  EXPECT_NEAR(std::fabs(r1 / r0), 2.0, 0.05);
+  // First component dominates the variance.
+  EXPECT_GT(pca.variance_proportion()[0], 0.99);
+}
+
+TEST(Pca, VarianceProportionsSumToOne) {
+  Rng rng(2);
+  linalg::Matrix x(50, 4);
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) x(i, j) = rng.normal();
+  }
+  Pca pca;
+  pca.fit(x, {"a", "b", "c", "d"});
+  const auto prop = pca.variance_proportion();
+  double total = 0.0;
+  for (const double p : prop) {
+    EXPECT_GE(p, -1e-12);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  const auto cum = pca.cumulative_variance();
+  EXPECT_NEAR(cum.back(), 1.0, 1e-9);
+  for (std::size_t i = 1; i < cum.size(); ++i) {
+    EXPECT_GE(cum[i], cum[i - 1] - 1e-12);
+  }
+}
+
+TEST(Pca, ScoresMatchTransform) {
+  Rng rng(3);
+  linalg::Matrix x(40, 3);
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = rng.uniform(0, 5);
+  }
+  Pca pca;
+  pca.fit(x, {"a", "b", "c"});
+  const auto t = pca.transform(x);
+  EXPECT_LT(linalg::Matrix::max_abs_diff(t, pca.scores()), 1e-9);
+}
+
+TEST(Pca, CorrelatedGroupsLandInOneComponent) {
+  // Two independent groups of correlated variables: (a, b) and (c, d).
+  Rng rng(4);
+  linalg::Matrix x(200, 4);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const double g1 = rng.normal();
+    const double g2 = rng.normal();
+    x(i, 0) = g1 + 0.05 * rng.normal();
+    x(i, 1) = -g1 + 0.05 * rng.normal();
+    x(i, 2) = g2 + 0.05 * rng.normal();
+    x(i, 3) = g2 + 0.05 * rng.normal();
+  }
+  Pca pca;
+  PcaParams params;
+  params.variance_target = 0.95;
+  pca.fit(x, {"a", "b", "c", "d"}, params);
+  EXPECT_EQ(pca.num_retained(), 2u);
+  pca.varimax();
+  const auto strong = pca.strong_loadings(0.4);
+  ASSERT_EQ(strong.size(), 2u);
+  // Each rotated component should load on exactly one group.
+  for (const auto& comp : strong) {
+    ASSERT_EQ(comp.size(), 2u);
+    const bool group1 = (comp[0].first == "a" || comp[0].first == "b");
+    for (const auto& [name, loading] : comp) {
+      (void)loading;
+      if (group1) {
+        EXPECT_TRUE(name == "a" || name == "b");
+      } else {
+        EXPECT_TRUE(name == "c" || name == "d");
+      }
+    }
+  }
+}
+
+TEST(Pca, VarimaxPreservesExplainedVariance) {
+  Rng rng(5);
+  linalg::Matrix x(100, 5);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const double f = rng.normal();
+    for (std::size_t j = 0; j < 5; ++j) {
+      x(i, j) = f * (static_cast<double>(j) + 1) + rng.normal();
+    }
+  }
+  Pca pca;
+  pca.fit(x, {"a", "b", "c", "d", "e"});
+  const std::size_t k = pca.num_retained();
+  // Total squared loading mass is rotation-invariant.
+  double before = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t v = 0; v < 5; ++v) {
+      const double l = pca.rotation()(v, j) * pca.sdev()[j];
+      before += l * l;
+    }
+  }
+  const auto& rotated = pca.varimax();
+  double after = 0.0;
+  for (std::size_t j = 0; j < rotated.cols(); ++j) {
+    for (std::size_t v = 0; v < rotated.rows(); ++v) {
+      after += rotated(v, j) * rotated(v, j);
+    }
+  }
+  EXPECT_NEAR(before, after, 1e-6 * std::max(1.0, before));
+}
+
+TEST(Pca, LoadingLookup) {
+  Rng rng(6);
+  linalg::Matrix x(30, 2);
+  for (std::size_t i = 0; i < 30; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+  }
+  Pca pca;
+  pca.fit(x, {"first", "second"});
+  EXPECT_NO_THROW(pca.loading("first", 0));
+  EXPECT_THROW(pca.loading("missing", 0), Error);
+  EXPECT_THROW(pca.loading("first", 5), Error);
+}
+
+TEST(Pca, ConstantColumnHandledGracefully) {
+  Rng rng(7);
+  linalg::Matrix x(25, 2);
+  for (std::size_t i = 0; i < 25; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = 3.0;  // constant
+  }
+  Pca pca;
+  EXPECT_NO_THROW(pca.fit(x, {"var", "const"}));
+  // The constant column contributes ~zero variance.
+  EXPECT_NEAR(pca.variance_proportion()[0], 1.0, 1e-9);
+}
+
+class PcaOrthonormality : public ::testing::TestWithParam<int> {};
+
+TEST_P(PcaOrthonormality, RotationIsOrthonormal) {
+  const int p = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p) * 13 + 1);
+  linalg::Matrix x(60, static_cast<std::size_t>(p));
+  for (std::size_t i = 0; i < 60; ++i) {
+    for (std::size_t j = 0; j < static_cast<std::size_t>(p); ++j) {
+      x(i, j) = rng.uniform(-5, 5);
+    }
+  }
+  Pca pca;
+  pca.fit(x, std::vector<std::string>(static_cast<std::size_t>(p), "v"));
+  // NOTE: duplicate names are fine for this structural property test.
+  const auto& r = pca.rotation();
+  const linalg::Matrix rtr = r.transpose() * r;
+  EXPECT_LT(linalg::Matrix::max_abs_diff(
+                rtr, linalg::Matrix::identity(static_cast<std::size_t>(p))),
+            1e-8);
+  // sdev sorted descending.
+  for (std::size_t j = 1; j < pca.sdev().size(); ++j) {
+    EXPECT_GE(pca.sdev()[j - 1], pca.sdev()[j] - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, PcaOrthonormality,
+                         ::testing::Values(2, 3, 6, 10, 15));
+
+}  // namespace
+}  // namespace bf::ml

@@ -1,0 +1,63 @@
+// Tests for the counter-based power model (the §7 extension substrate).
+#include <gtest/gtest.h>
+
+#include "gpusim/engine.hpp"
+#include "gpusim/power.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/reduce.hpp"
+
+namespace bf::gpusim {
+namespace {
+
+TEST(Power, IdleFloorAndComposition) {
+  CounterSet empty;
+  const auto p = estimate_power(gtx580(), empty, 1.0);
+  EXPECT_DOUBLE_EQ(p.core_w, 0.0);
+  EXPECT_DOUBLE_EQ(p.dram_w, 0.0);
+  EXPECT_NEAR(p.total_w, p.idle_w, 1e-12);
+  EXPECT_GT(p.idle_w, 20.0);
+}
+
+TEST(Power, BusyKernelDrawsMoreThanIdle) {
+  const Device dev(gtx580());
+  const auto agg = kernels::simulate_matmul(dev, 512);
+  const auto p = estimate_power(dev.arch(), agg.counters, agg.time_ms);
+  EXPECT_GT(p.total_w, p.idle_w + 10.0);
+  EXPECT_LT(p.total_w, 400.0);  // plausible board power
+  EXPECT_GT(p.core_w, 0.0);
+  EXPECT_GT(p.dram_w, 0.0);
+  EXPECT_NEAR(p.energy_j, p.total_w * agg.time_ms * 1e-3, 1e-9);
+}
+
+TEST(Power, MemoryBoundKernelHasHigherDramShare) {
+  const Device dev(gtx580());
+  const auto mm = kernels::simulate_matmul(dev, 512);       // compute-heavy
+  const auto red = kernels::simulate_reduction(dev, 6, 1 << 22);  // streaming
+  const auto p_mm = estimate_power(dev.arch(), mm.counters, mm.time_ms);
+  const auto p_red = estimate_power(dev.arch(), red.counters, red.time_ms);
+  const double mm_dram_share = p_mm.dram_w / p_mm.total_w;
+  const double red_dram_share = p_red.dram_w / p_red.total_w;
+  EXPECT_GT(red_dram_share, mm_dram_share);
+}
+
+TEST(Power, TotalIsSumOfComponents) {
+  const Device dev(gtx580());
+  const auto agg = kernels::simulate_reduction(dev, 1, 1 << 20);
+  const auto p = estimate_power(dev.arch(), agg.counters, agg.time_ms);
+  EXPECT_NEAR(p.total_w,
+              p.idle_w + p.core_w + p.dram_w + p.l2_w + p.shared_w, 1e-9);
+}
+
+TEST(Power, ScalesWithActivityNotJustTime) {
+  // The same counters over double the time halve the dynamic power.
+  const Device dev(gtx580());
+  const auto agg = kernels::simulate_matmul(dev, 256);
+  const auto fast = estimate_power(dev.arch(), agg.counters, agg.time_ms);
+  const auto slow =
+      estimate_power(dev.arch(), agg.counters, 2.0 * agg.time_ms);
+  EXPECT_NEAR(slow.dram_w, 0.5 * fast.dram_w, 1e-9);
+  EXPECT_LT(slow.total_w, fast.total_w);
+}
+
+}  // namespace
+}  // namespace bf::gpusim

@@ -1,0 +1,88 @@
+// Tests for the ASCII reporting helpers.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "report/ascii.hpp"
+
+namespace bf::report {
+namespace {
+
+TEST(BarChart, ScalesToLargestValue) {
+  const auto s = bar_chart("importance", {{"big", 10.0}, {"half", 5.0}});
+  EXPECT_NE(s.find("importance"), std::string::npos);
+  EXPECT_NE(s.find("big"), std::string::npos);
+  // The largest bar has the full width of '#'s; the half bar about half.
+  const auto count_hashes = [&](const std::string& label) {
+    const std::size_t line_start = s.find(label);
+    const std::size_t line_end = s.find('\n', line_start);
+    const std::string line = s.substr(line_start, line_end - line_start);
+    return std::count(line.begin(), line.end(), '#');
+  };
+  EXPECT_EQ(count_hashes("big"), 48);
+  EXPECT_EQ(count_hashes("half"), 24);
+}
+
+TEST(BarChart, NegativeValuesMarked) {
+  const auto s = bar_chart("t", {{"neg", -2.0}, {"pos", 2.0}});
+  EXPECT_NE(s.find("-##"), std::string::npos);
+}
+
+TEST(BarChart, EmptyInputJustTitle) {
+  EXPECT_EQ(bar_chart("title", {}), "title\n");
+}
+
+TEST(XyPlot, ContainsGlyphsAndAxes) {
+  Series a;
+  a.name = "measured";
+  a.x = {1, 2, 3, 4};
+  a.y = {1, 4, 9, 16};
+  Series b;
+  b.name = "predicted";
+  b.x = {1, 2, 3, 4};
+  b.y = {1.2, 3.9, 9.5, 15.0};
+  const auto s = xy_plot("fit", {a, b});
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find('o'), std::string::npos);
+  EXPECT_NE(s.find("measured"), std::string::npos);
+  EXPECT_NE(s.find("predicted"), std::string::npos);
+  EXPECT_NE(s.find("+--"), std::string::npos);
+}
+
+TEST(XyPlot, LogXAxisAnnotated) {
+  Series a;
+  a.name = "s";
+  a.x = {64, 1024, 16384};
+  a.y = {1, 2, 3};
+  const auto s = xy_plot("t", {a}, 32, 8, /*log_x=*/true);
+  EXPECT_NE(s.find("log2"), std::string::npos);
+}
+
+TEST(XyPlot, MismatchedSeriesRejected) {
+  Series bad;
+  bad.name = "bad";
+  bad.x = {1, 2};
+  bad.y = {1};
+  EXPECT_THROW(xy_plot("t", {bad}), Error);
+  EXPECT_THROW(xy_plot("t", {}, 4, 2), Error);  // too small
+}
+
+TEST(Table, AlignsColumns) {
+  const auto s = table({"counter", "value"},
+                       {{"ipc", "0.88"}, {"achieved_occupancy", "0.97"}});
+  EXPECT_NE(s.find("counter"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  // Every data line must be at least as wide as the widest label.
+  EXPECT_NE(s.find("achieved_occupancy  0.97"), std::string::npos);
+}
+
+TEST(Table, RaggedRowRejected) {
+  EXPECT_THROW(table({"a", "b"}, {{"only"}}), Error);
+}
+
+TEST(Cell, FormatsFixedPrecision) {
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+  EXPECT_EQ(cell(10.0, 0), "10");
+}
+
+}  // namespace
+}  // namespace bf::report

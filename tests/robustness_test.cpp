@@ -1,0 +1,209 @@
+// Failure injection and edge-case robustness across modules: corrupt
+// repository files, malformed datasets, degenerate model inputs,
+// misbehaving workloads.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "core/counter_models.hpp"
+#include "core/model.hpp"
+#include "ml/dataset.hpp"
+#include "ml/linear_model.hpp"
+#include "ml/tree.hpp"
+#include "profiling/profiler.hpp"
+#include "profiling/repository.hpp"
+
+namespace bf {
+namespace {
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bf_robust_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+// ---- repository failure injection ----
+
+using RepositoryRobustness = TempDir;
+
+TEST_F(RepositoryRobustness, CorruptCsvRejectedOnLoad) {
+  const profiling::RunRepository repo(dir_.string());
+  // Plant a malformed file where a sweep would live.
+  std::ofstream((dir_ / "needle__gtx580.csv"))
+      << "size,time_ms\n1024,not_a_number\n";
+  EXPECT_TRUE(repo.contains("needle", "gtx580"));
+  EXPECT_THROW(repo.load("needle", "gtx580"), Error);
+}
+
+TEST_F(RepositoryRobustness, RaggedCsvRejectedOnLoad) {
+  const profiling::RunRepository repo(dir_.string());
+  std::ofstream((dir_ / "needle__gtx580.csv"))
+      << "size,time_ms\n1024\n";
+  EXPECT_THROW(repo.load("needle", "gtx580"), Error);
+}
+
+TEST_F(RepositoryRobustness, KeySanitisation) {
+  const profiling::RunRepository repo(dir_.string());
+  ml::Dataset ds;
+  ds.add_column("x", {1});
+  // Slashes and spaces must not escape the repository directory.
+  repo.save("../evil name", "arch/1", ds);
+  bool inside = false;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    inside |= e.is_regular_file();
+  }
+  EXPECT_TRUE(inside);
+  EXPECT_FALSE(std::filesystem::exists(
+      dir_.parent_path() / "evil name__arch_1.csv"));
+}
+
+// ---- dataset / CSV edge cases ----
+
+TEST(DatasetRobustness, FromCsvRejectsNonNumeric) {
+  std::istringstream is("a,b\n1,hello\n");
+  const CsvTable table = CsvTable::read(is);
+  EXPECT_THROW(ml::Dataset::from_csv(table), Error);
+}
+
+TEST(DatasetRobustness, SplitOnTinyDataset) {
+  ml::Dataset ds;
+  ds.add_column("x", {1});
+  Rng rng(1);
+  EXPECT_THROW(ml::train_test_split(ds, 0.2, rng), Error);  // 1 row
+}
+
+TEST(DatasetRobustness, ConstantResponseRejectedByModel) {
+  ml::Dataset ds;
+  ds.add_column("size", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  ds.add_column("time_ms", std::vector<double>(10, 5.0));
+  EXPECT_THROW(core::BlackForestModel::fit(ds, {}), Error);
+}
+
+TEST(DatasetRobustness, PLargerThanN) {
+  // More predictors than rows must still fit (mtry handles it).
+  ml::Dataset ds;
+  Rng rng(2);
+  for (int c = 0; c < 12; ++c) {
+    std::vector<double> col(6);
+    for (auto& v : col) v = rng.uniform(0, 1);
+    ds.add_column("c" + std::to_string(c), col);
+  }
+  ds.add_column("time_ms", {1, 2, 3, 4, 5, 6});
+  core::ModelOptions opt;
+  opt.forest.n_trees = 30;
+  opt.test_fraction = 0.0;
+  EXPECT_NO_THROW(core::BlackForestModel::fit(ds, opt));
+}
+
+// ---- degenerate model inputs ----
+
+TEST(TreeRobustness, AllIdenticalFeatureValuesSingleLeaf) {
+  linalg::Matrix x(20, 1);
+  std::vector<double> y(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x(i, 0) = 7.0;  // constant feature
+    y[i] = static_cast<double>(i);
+  }
+  ml::RegressionTree tree;
+  Rng rng(3);
+  tree.fit(x, y, ml::TreeParams{}, rng);
+  EXPECT_EQ(tree.leaf_count(), 1u);  // nothing to split on
+  EXPECT_DOUBLE_EQ(tree.predict(x)[0], 9.5);
+}
+
+TEST(GlmRobustness, LogLinkConvergesOnNoisyData) {
+  Rng rng(4);
+  linalg::Matrix x(60, 1);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = static_cast<double>(i) / 6.0;
+    y[i] = 3.0 * std::exp(0.4 * x(i, 0)) *
+           std::exp(rng.normal(0.0, 0.05));
+  }
+  ml::Glm glm;
+  ml::GlmParams p;
+  p.link = ml::LinkFunction::kLog;
+  p.degree = 1;
+  p.log_terms = false;
+  glm.fit(x, y, p);
+  EXPECT_GT(glm.r_squared(), 0.98);
+}
+
+TEST(CounterModelsRobustness, OptionFlagsRespected) {
+  ml::Dataset ds;
+  std::vector<double> sizes;
+  std::vector<double> counter;
+  for (int i = 1; i <= 24; ++i) {
+    sizes.push_back(64.0 * i);
+    counter.push_back(5.0 * 64.0 * i);
+  }
+  ds.add_column("size", sizes);
+  ds.add_column("c", counter);
+
+  core::CounterModelOptions glm_only;
+  glm_only.kind = core::CounterModelKind::kGlm;
+  const auto a = core::CounterModels::fit(ds, {"c"}, glm_only);
+  EXPECT_EQ(a.info()[0].chosen, core::CounterModelKind::kGlm);
+
+  core::CounterModelOptions mars_only;
+  mars_only.kind = core::CounterModelKind::kMars;
+  const auto b = core::CounterModels::fit(ds, {"c"}, mars_only);
+  EXPECT_EQ(b.info()[0].chosen, core::CounterModelKind::kMars);
+
+  core::CounterModelOptions raw;
+  raw.log_inputs = false;
+  raw.auto_log_response = false;
+  const auto c = core::CounterModels::fit(ds, {"c"}, raw);
+  EXPECT_GT(c.info()[0].r2, 0.999);  // linear counter fits either way
+}
+
+TEST(CounterModelsRobustness, NegativeCountersSkipLogResponse) {
+  // A counter crossing zero cannot be log-modelled; auto mode must cope.
+  ml::Dataset ds;
+  std::vector<double> sizes;
+  std::vector<double> counter;
+  for (int i = 1; i <= 16; ++i) {
+    sizes.push_back(16.0 * i);
+    counter.push_back(i - 8.0);  // negative half the range
+  }
+  ds.add_column("size", sizes);
+  ds.add_column("c", counter);
+  const auto models = core::CounterModels::fit(ds, {"c"});
+  EXPECT_GT(models.info()[0].r2, 0.99);
+  const auto pred = models.predict({40.0});
+  EXPECT_NEAR(pred[0].second, 40.0 / 16.0 - 8.0, 0.5);
+}
+
+// ---- misbehaving workloads ----
+
+TEST(ProfilerRobustness, ZeroTimeWorkloadRejected) {
+  profiling::Workload w;
+  w.name = "broken";
+  w.run = [](const gpusim::Device&, double) {
+    return gpusim::AggregateResult{};  // zero time, no launches
+  };
+  const gpusim::Device device(gpusim::gtx580());
+  profiling::Profiler profiler;
+  EXPECT_THROW(profiler.profile(w, device, 100.0), Error);
+}
+
+TEST(ProfilerRobustness, MissingRunFunctionRejected) {
+  profiling::Workload w;
+  w.name = "empty";
+  const gpusim::Device device(gpusim::gtx580());
+  profiling::Profiler profiler;
+  EXPECT_THROW(profiler.profile(w, device, 100.0), Error);
+}
+
+}  // namespace
+}  // namespace bf

@@ -1,0 +1,105 @@
+// Tests for the CSR SpMV kernel and its irregularity dials.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gpusim/engine.hpp"
+#include "kernels/spmv.hpp"
+#include "profiling/profiler.hpp"
+#include "profiling/workloads.hpp"
+
+namespace bf::kernels {
+namespace {
+
+using gpusim::Device;
+using gpusim::Event;
+using gpusim::gtx580;
+
+SpmvPattern pattern(int nnz, double skew, double locality) {
+  SpmvPattern p;
+  p.avg_nnz_per_row = nnz;
+  p.row_skew = skew;
+  p.locality = locality;
+  return p;
+}
+
+TEST(Spmv, GeometryAndValidation) {
+  const SpmvCsrKernel k(10000, pattern(16, 0.0, 0.5));
+  EXPECT_EQ(k.geometry().num_blocks(), (10000 + 255) / 256);
+  EXPECT_THROW(SpmvCsrKernel(0, pattern(16, 0, 0.5)), Error);
+  EXPECT_THROW(SpmvCsrKernel(100, pattern(0, 0, 0.5)), Error);
+  EXPECT_THROW(SpmvCsrKernel(100, pattern(16, 2.0, 0.5)), Error);
+}
+
+TEST(Spmv, PatternIsDeterministic) {
+  const SpmvCsrKernel a(5000, pattern(16, 0.3, 0.5));
+  const SpmvCsrKernel b(5000, pattern(16, 0.3, 0.5));
+  for (std::int64_t r = 0; r < 100; ++r) {
+    ASSERT_EQ(a.nnz_of_row(r), b.nnz_of_row(r));
+    for (int j = 0; j < a.nnz_of_row(r); j += 5) {
+      ASSERT_EQ(a.col_of(r, j), b.col_of(r, j));
+    }
+  }
+}
+
+TEST(Spmv, AverageNnzNearTarget) {
+  const int rows = 20000;
+  const SpmvCsrKernel k(rows, pattern(16, 0.0, 0.5));
+  const double avg =
+      static_cast<double>(k.total_nnz()) / static_cast<double>(rows);
+  EXPECT_NEAR(avg, 16.0, 3.0);
+}
+
+TEST(Spmv, ReferenceMatchesPattern) {
+  const int rows = 64;
+  const SpmvCsrKernel k(rows, pattern(4, 0.0, 1.0));
+  const std::vector<double> ones(static_cast<std::size_t>(rows), 1.0);
+  const auto y = spmv_reference(k, rows, ones);
+  // With x = 1, y[r] equals the row's nnz.
+  for (int r = 0; r < rows; ++r) {
+    EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(r)], k.nnz_of_row(r));
+  }
+}
+
+TEST(Spmv, RowSkewCausesDivergence) {
+  const Device dev(gtx580());
+  const auto uniform = dev.run(SpmvCsrKernel(1 << 16, pattern(16, 0.0, 0.5)));
+  const auto skewed = dev.run(SpmvCsrKernel(1 << 16, pattern(16, 0.8, 0.5)));
+  const double weff_u =
+      uniform.counters.get(Event::kThreadInstExecuted) /
+      (uniform.counters.get(Event::kInstExecuted) * 32.0);
+  const double weff_s =
+      skewed.counters.get(Event::kThreadInstExecuted) /
+      (skewed.counters.get(Event::kInstExecuted) * 32.0);
+  // The heavy-head distribution leaves most lanes idle on long rows.
+  EXPECT_LT(weff_s, 0.75 * weff_u);
+  EXPECT_GT(skewed.counters.get(Event::kDivergentBranch),
+            uniform.counters.get(Event::kDivergentBranch));
+}
+
+TEST(Spmv, LocalityImprovesGatherCoalescing) {
+  const Device dev(gtx580());
+  const auto local = dev.run(SpmvCsrKernel(1 << 16, pattern(16, 0.0, 1.0)));
+  const auto scattered =
+      dev.run(SpmvCsrKernel(1 << 16, pattern(16, 0.0, 0.0)));
+  // Transactions per load request: scattered gathers need far more.
+  const double tpr_local =
+      local.counters.get(Event::kGlobalLoadTransaction) /
+      local.counters.get(Event::kGldRequest);
+  const double tpr_scattered =
+      scattered.counters.get(Event::kGlobalLoadTransaction) /
+      scattered.counters.get(Event::kGldRequest);
+  EXPECT_GT(tpr_scattered, 1.5 * tpr_local);
+  EXPECT_GT(scattered.time_ms, local.time_ms);
+}
+
+TEST(Spmv, WorkloadRegisteredAndRuns) {
+  const auto w = profiling::workload_by_name("spmv_n16_s00_l50");
+  const Device dev(gtx580());
+  profiling::Profiler profiler;
+  const auto r = profiler.profile(w, dev, 1 << 15);
+  EXPECT_GT(r.time_ms, 0.0);
+  EXPECT_GT(r.counters.at("gld_request"), 0.0);
+}
+
+}  // namespace
+}  // namespace bf::kernels

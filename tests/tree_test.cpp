@@ -1,0 +1,232 @@
+// Tests for the CART regression tree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+#include "ml/tree.hpp"
+
+namespace bf::ml {
+namespace {
+
+linalg::Matrix column_matrix(const std::vector<double>& x) {
+  linalg::Matrix m(x.size(), 1);
+  for (std::size_t i = 0; i < x.size(); ++i) m(i, 0) = x[i];
+  return m;
+}
+
+TEST(RegressionTree, ConstantResponseSingleLeaf) {
+  const auto x = column_matrix({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  const std::vector<double> y(10, 3.5);
+  RegressionTree tree;
+  Rng rng(1);
+  tree.fit(x, y, TreeParams{}, rng);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(x)[0], 3.5);
+}
+
+TEST(RegressionTree, RecoversStepFunction) {
+  // y = 0 for x < 5.5, 10 for x >= 5.5 — one split should nail it.
+  std::vector<double> xs;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    y.push_back(i < 10 ? 0.0 : 10.0);
+  }
+  const auto x = column_matrix(xs);
+  RegressionTree tree;
+  Rng rng(2);
+  TreeParams params;
+  params.min_node_size = 5;
+  tree.fit(x, y, params, rng);
+  const auto pred = tree.predict(x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pred[i], y[i]);
+  }
+}
+
+TEST(RegressionTree, MinNodeSizeRespected) {
+  std::vector<double> xs;
+  std::vector<double> y;
+  Rng noise(3);
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(i);
+    y.push_back(i + noise.normal());
+  }
+  const auto x = column_matrix(xs);
+  TreeParams params;
+  params.min_node_size = 10;
+  RegressionTree tree;
+  Rng rng(4);
+  tree.fit(x, y, params, rng);
+  // 40 samples with min node 10 allows at most 4 leaves.
+  EXPECT_LE(tree.leaf_count(), 4u);
+}
+
+TEST(RegressionTree, MaxDepthLimits) {
+  std::vector<double> xs;
+  std::vector<double> y;
+  for (int i = 0; i < 64; ++i) {
+    xs.push_back(i);
+    y.push_back(i);
+  }
+  const auto x = column_matrix(xs);
+  TreeParams params;
+  params.min_node_size = 1;
+  params.max_depth = 3;
+  RegressionTree tree;
+  Rng rng(5);
+  tree.fit(x, y, params, rng);
+  EXPECT_LE(tree.depth(), 4u);  // root at depth 1, three splits below
+  EXPECT_LE(tree.leaf_count(), 8u);
+}
+
+TEST(RegressionTree, PredictionIsTrainMeanPerLeaf) {
+  // With a giant min_node_size the tree is a single leaf: the mean.
+  const auto x = column_matrix({1, 2, 3, 4});
+  const std::vector<double> y{1, 2, 3, 10};
+  TreeParams params;
+  params.min_node_size = 100;
+  RegressionTree tree;
+  Rng rng(6);
+  tree.fit(x, y, params, rng);
+  EXPECT_DOUBLE_EQ(tree.predict(x)[0], 4.0);
+}
+
+TEST(RegressionTree, ImpurityImportanceOnInformativeFeature) {
+  // Feature 0 is pure noise, feature 1 determines the response.
+  Rng rng(7);
+  linalg::Matrix x(60, 2);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = static_cast<double>(i);
+    y[i] = (i < 30) ? 0.0 : 5.0;
+  }
+  RegressionTree tree;
+  Rng fit_rng(8);
+  tree.fit(x, y, TreeParams{}, fit_rng);
+  const auto imp = tree.impurity_importance(2);
+  EXPECT_GT(imp[1], imp[0]);
+  EXPECT_GT(imp[1], 0.0);
+}
+
+TEST(RegressionTree, BootstrapSampleFit) {
+  const auto x = column_matrix({1, 2, 3, 4, 5, 6, 7, 8});
+  const std::vector<double> y{1, 1, 1, 1, 9, 9, 9, 9};
+  // Sample only the low half (with repetition): tree must predict ~1.
+  RegressionTree tree;
+  Rng rng(9);
+  tree.fit(x, y, {0, 1, 2, 3, 0, 1, 2, 3}, TreeParams{}, rng);
+  EXPECT_DOUBLE_EQ(tree.predict_row(x.row_ptr(7)), 1.0);
+}
+
+TEST(RegressionTree, PruneCollapsesNoiseSplits) {
+  // Step signal plus noise: a deep tree overfits; pruning with an alpha
+  // between the noise-split gains and the signal-split gain must keep
+  // the step and drop the noise.
+  Rng noise(21);
+  std::vector<double> xs;
+  std::vector<double> y;
+  for (int i = 0; i < 80; ++i) {
+    xs.push_back(i);
+    y.push_back((i < 40 ? 0.0 : 100.0) + noise.normal(0.0, 1.0));
+  }
+  const auto x = column_matrix(xs);
+  TreeParams params;
+  params.min_node_size = 2;
+  RegressionTree tree;
+  Rng rng(22);
+  tree.fit(x, y, params, rng);
+  const std::size_t leaves_before = tree.leaf_count();
+  ASSERT_GT(leaves_before, 2u);  // overfit as expected
+
+  const std::size_t collapsed = tree.prune(/*alpha=*/500.0);
+  EXPECT_GT(collapsed, 0u);
+  EXPECT_LT(tree.leaf_count(), leaves_before);
+  EXPECT_GE(tree.leaf_count(), 2u);  // the step split survives
+  // Predictions still recover the step.
+  const double lo[1] = {10.0};
+  const double hi[1] = {70.0};
+  EXPECT_NEAR(tree.predict_row(lo), 0.0, 2.0);
+  EXPECT_NEAR(tree.predict_row(hi), 100.0, 2.0);
+}
+
+TEST(RegressionTree, PruneEverythingGivesSingleLeaf) {
+  std::vector<double> xs;
+  std::vector<double> y;
+  for (int i = 0; i < 30; ++i) {
+    xs.push_back(i);
+    y.push_back(i);
+  }
+  const auto x = column_matrix(xs);
+  TreeParams params;
+  params.min_node_size = 2;
+  RegressionTree tree;
+  Rng rng(23);
+  tree.fit(x, y, params, rng);
+  tree.prune(1e12);  // absurd alpha: nothing is worth keeping
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_NEAR(tree.predict_row(std::vector<double>{5.0}.data()), 14.5,
+              1e-9);
+}
+
+TEST(RegressionTree, PruneZeroAlphaIsNoop) {
+  std::vector<double> xs;
+  std::vector<double> y;
+  Rng noise(24);
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(i);
+    y.push_back(noise.normal());
+  }
+  const auto x = column_matrix(xs);
+  RegressionTree tree;
+  Rng rng(25);
+  tree.fit(x, y, TreeParams{}, rng);
+  const std::size_t leaves = tree.leaf_count();
+  EXPECT_EQ(tree.prune(0.0), 0u);
+  EXPECT_EQ(tree.leaf_count(), leaves);
+}
+
+TEST(RegressionTree, UnfittedPredictThrows) {
+  RegressionTree tree;
+  const double row[1] = {0.0};
+  EXPECT_THROW(tree.predict_row(row), Error);
+}
+
+class TreeParamSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TreeParamSweep, FitQualityImprovesWithFinerLeaves) {
+  const auto [min_node, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  linalg::Matrix x(120, 2);
+  std::vector<double> y(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    x(i, 0) = rng.uniform(0, 10);
+    x(i, 1) = rng.uniform(0, 10);
+    y[i] = std::sin(x(i, 0)) + 0.3 * x(i, 1);
+  }
+  TreeParams params;
+  params.min_node_size = static_cast<std::size_t>(min_node);
+  RegressionTree tree;
+  Rng fit_rng(11);
+  tree.fit(x, y, params, fit_rng);
+  const double fit_mse = mse(y, tree.predict(x));
+
+  // Training error is bounded by the response variance (a single-leaf
+  // tree achieves exactly that), and shrinks with smaller min_node.
+  EXPECT_LE(fit_mse, variance(y) + 1e-12);
+  if (min_node <= 2) {
+    EXPECT_LT(fit_mse, 0.1 * variance(y));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, TreeParamSweep,
+    ::testing::Combine(::testing::Values(1, 2, 5, 10, 25),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace bf::ml

@@ -1,0 +1,175 @@
+// bf_analyze — the BlackForest command-line front end.
+//
+// Runs the five-stage pipeline on a named workload/architecture and
+// prints the bottleneck report; optionally predicts unseen problem sizes
+// through the problem-scaling path, and caches sweeps in a repository.
+//
+//   bf_analyze --workload reduce1 --arch gtx580
+//   bf_analyze --workload matrixMul --min 32 --max 2048 --runs 24
+//              --predict 96 --predict 384 --repo /tmp/bf_runs
+//   bf_analyze --list
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/pipeline.hpp"
+#include "core/predictor.hpp"
+#include "gpusim/arch.hpp"
+#include "profiling/workloads.hpp"
+#include "report/ascii.hpp"
+
+namespace {
+
+using namespace bf;
+
+void usage() {
+  std::printf(
+      "usage: bf_analyze [options]\n"
+      "  --workload NAME   workload to analyse (default reduce1)\n"
+      "  --arch NAME       gtx580 | gtx480 | k20m | k40 (default gtx580)\n"
+      "  --min N --max N   problem-size range (defaults per workload)\n"
+      "  --runs N          number of profiled runs (default 40)\n"
+      "  --predict N       predict an unseen size (repeatable)\n"
+      "  --repo DIR        cache sweeps in DIR\n"
+      "  --trees N         forest size (default 500)\n"
+      "  --list            list workloads and architectures\n");
+}
+
+struct Args {
+  std::string workload = "reduce1";
+  std::string arch = "gtx580";
+  double min_size = 0;
+  double max_size = 0;
+  int runs = 40;
+  int trees = 500;
+  std::vector<double> predict;
+  std::string repo;
+  bool list = false;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      BF_CHECK_MSG(i + 1 < argc, "missing value for " << a);
+      return argv[++i];
+    };
+    if (a == "--workload") {
+      args.workload = next();
+    } else if (a == "--arch") {
+      args.arch = next();
+    } else if (a == "--min") {
+      args.min_size = std::atof(next());
+    } else if (a == "--max") {
+      args.max_size = std::atof(next());
+    } else if (a == "--runs") {
+      args.runs = std::atoi(next());
+    } else if (a == "--trees") {
+      args.trees = std::atoi(next());
+    } else if (a == "--predict") {
+      args.predict.push_back(std::atof(next()));
+    } else if (a == "--repo") {
+      args.repo = next();
+    } else if (a == "--list") {
+      args.list = true;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      BF_FAIL("unknown option: " << a);
+    }
+  }
+  return args;
+}
+
+/// Sensible default sweep ranges per workload family.
+void default_range(const std::string& workload, double& lo, double& hi,
+                   std::int64_t& multiple) {
+  if (workload.rfind("reduce", 0) == 0 || workload == "vecAdd") {
+    lo = 1 << 14;
+    hi = 1 << 24;
+    multiple = 256;
+  } else if (workload == "needle") {
+    lo = 64;
+    hi = 4096;
+    multiple = 64;
+  } else {  // matrix-shaped workloads
+    lo = 32;
+    hi = 2048;
+    multiple = 32;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.list) {
+      std::printf("workloads:\n");
+      for (const auto& w : profiling::all_workloads()) {
+        std::printf("  %s\n", w.name.c_str());
+      }
+      std::printf("architectures:\n");
+      for (const auto& a : gpusim::arch_registry()) {
+        std::printf("  %-8s %s, %d SMs @ %.2f GHz, %.0f GB/s\n",
+                    a.name.c_str(),
+                    a.generation == gpusim::Generation::kFermi ? "Fermi"
+                                                               : "Kepler",
+                    a.sm_count, a.clock_ghz, a.mem_bandwidth_gbs);
+      }
+      return 0;
+    }
+
+    // The workload's size-granularity constraint applies regardless of
+    // whether the range itself was overridden on the command line.
+    double lo = 0;
+    double hi = 0;
+    std::int64_t multiple = 1;
+    default_range(args.workload, lo, hi, multiple);
+    if (args.min_size > 0) lo = args.min_size;
+    if (args.max_size > 0) hi = args.max_size;
+
+    core::PipelineConfig config;
+    config.workload = profiling::workload_by_name(args.workload);
+    config.arch = gpusim::arch_by_name(args.arch);
+    config.sizes = profiling::log2_sizes(lo, hi, args.runs, multiple);
+    config.model.forest.n_trees = static_cast<std::size_t>(args.trees);
+    if (!args.repo.empty()) config.repository_root = args.repo;
+
+    std::printf("analysing %s on %s (%zu runs, sizes %g..%g)\n\n",
+                args.workload.c_str(), args.arch.c_str(),
+                config.sizes.size(), lo, hi);
+    const auto outcome = core::run_analysis(config);
+
+    std::vector<std::pair<std::string, double>> bars;
+    const auto imp = outcome.model.importance();
+    for (std::size_t i = 0; i < imp.size() && i < 10; ++i) {
+      bars.emplace_back(imp[i].name, imp[i].pct_inc_mse);
+    }
+    std::printf("%s\n",
+                report::bar_chart("variable importance (%IncMSE)", bars)
+                    .c_str());
+    std::printf("%s\n", core::to_text(outcome.report).c_str());
+
+    if (!args.predict.empty()) {
+      core::ProblemScalingOptions pso;
+      pso.model.forest.n_trees = static_cast<std::size_t>(args.trees);
+      const auto predictor =
+          core::ProblemScalingPredictor::build(outcome.data, pso);
+      std::printf("problem-scaling predictions:\n");
+      for (const double s : args.predict) {
+        std::printf("  size %-10g -> %.4f ms\n", s,
+                    predictor.predict_time(s));
+      }
+    }
+    return 0;
+  } catch (const bf::Error& e) {
+    std::fprintf(stderr, "bf_analyze: %s\n", e.what());
+    return 1;
+  }
+}
