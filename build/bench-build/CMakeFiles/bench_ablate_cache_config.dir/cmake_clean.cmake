@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_cache_config"
+  "../bench/bench_ablate_cache_config.pdb"
+  "CMakeFiles/bench_ablate_cache_config.dir/bench_ablate_cache_config.cpp.o"
+  "CMakeFiles/bench_ablate_cache_config.dir/bench_ablate_cache_config.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_cache_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

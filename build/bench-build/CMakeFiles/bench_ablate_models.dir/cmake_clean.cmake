@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_models"
+  "../bench/bench_ablate_models.pdb"
+  "CMakeFiles/bench_ablate_models.dir/bench_ablate_models.cpp.o"
+  "CMakeFiles/bench_ablate_models.dir/bench_ablate_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_pca_first"
+  "../bench/bench_ablate_pca_first.pdb"
+  "CMakeFiles/bench_ablate_pca_first.dir/bench_ablate_pca_first.cpp.o"
+  "CMakeFiles/bench_ablate_pca_first.dir/bench_ablate_pca_first.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_pca_first.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

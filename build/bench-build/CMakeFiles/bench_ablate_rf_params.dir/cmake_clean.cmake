@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_rf_params"
+  "../bench/bench_ablate_rf_params.pdb"
+  "CMakeFiles/bench_ablate_rf_params.dir/bench_ablate_rf_params.cpp.o"
+  "CMakeFiles/bench_ablate_rf_params.dir/bench_ablate_rf_params.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_rf_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

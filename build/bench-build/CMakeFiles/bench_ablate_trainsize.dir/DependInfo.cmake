@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablate_trainsize.cpp" "bench-build/CMakeFiles/bench_ablate_trainsize.dir/bench_ablate_trainsize.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ablate_trainsize.dir/bench_ablate_trainsize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpusim/CMakeFiles/bf_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/bf_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bf_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/bf_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/bf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/bf_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_trainsize"
+  "../bench/bench_ablate_trainsize.pdb"
+  "CMakeFiles/bench_ablate_trainsize.dir/bench_ablate_trainsize.cpp.o"
+  "CMakeFiles/bench_ablate_trainsize.dir/bench_ablate_trainsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_trainsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_atomics"
+  "../bench/bench_ext_atomics.pdb"
+  "CMakeFiles/bench_ext_atomics.dir/bench_ext_atomics.cpp.o"
+  "CMakeFiles/bench_ext_atomics.dir/bench_ext_atomics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_atomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

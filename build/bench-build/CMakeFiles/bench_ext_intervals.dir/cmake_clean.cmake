@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_intervals"
+  "../bench/bench_ext_intervals.pdb"
+  "CMakeFiles/bench_ext_intervals.dir/bench_ext_intervals.cpp.o"
+  "CMakeFiles/bench_ext_intervals.dir/bench_ext_intervals.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_power"
+  "../bench/bench_ext_power.pdb"
+  "CMakeFiles/bench_ext_power.dir/bench_ext_power.cpp.o"
+  "CMakeFiles/bench_ext_power.dir/bench_ext_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_similar_hw"
+  "../bench/bench_ext_similar_hw.pdb"
+  "CMakeFiles/bench_ext_similar_hw.dir/bench_ext_similar_hw.cpp.o"
+  "CMakeFiles/bench_ext_similar_hw.dir/bench_ext_similar_hw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_similar_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_spmv"
+  "../bench/bench_ext_spmv.pdb"
+  "CMakeFiles/bench_ext_spmv.dir/bench_ext_spmv.cpp.o"
+  "CMakeFiles/bench_ext_spmv.dir/bench_ext_spmv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

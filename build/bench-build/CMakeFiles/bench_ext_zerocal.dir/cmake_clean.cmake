@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_zerocal"
+  "../bench/bench_ext_zerocal.pdb"
+  "CMakeFiles/bench_ext_zerocal.dir/bench_ext_zerocal.cpp.o"
+  "CMakeFiles/bench_ext_zerocal.dir/bench_ext_zerocal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_zerocal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

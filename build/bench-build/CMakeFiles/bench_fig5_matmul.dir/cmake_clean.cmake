@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_matmul"
+  "../bench/bench_fig5_matmul.pdb"
+  "CMakeFiles/bench_fig5_matmul.dir/bench_fig5_matmul.cpp.o"
+  "CMakeFiles/bench_fig5_matmul.dir/bench_fig5_matmul.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_nw"
+  "../bench/bench_fig6_nw.pdb"
+  "CMakeFiles/bench_fig6_nw.dir/bench_fig6_nw.cpp.o"
+  "CMakeFiles/bench_fig6_nw.dir/bench_fig6_nw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_nw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

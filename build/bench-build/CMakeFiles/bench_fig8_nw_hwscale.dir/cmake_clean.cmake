@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_nw_hwscale"
+  "../bench/bench_fig8_nw_hwscale.pdb"
+  "CMakeFiles/bench_fig8_nw_hwscale.dir/bench_fig8_nw_hwscale.cpp.o"
+  "CMakeFiles/bench_fig8_nw_hwscale.dir/bench_fig8_nw_hwscale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_nw_hwscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

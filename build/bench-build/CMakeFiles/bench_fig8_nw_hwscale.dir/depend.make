@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_nw_hwscale.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_gpusim"
+  "../bench/bench_perf_gpusim.pdb"
+  "CMakeFiles/bench_perf_gpusim.dir/bench_perf_gpusim.cpp.o"
+  "CMakeFiles/bench_perf_gpusim.dir/bench_perf_gpusim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

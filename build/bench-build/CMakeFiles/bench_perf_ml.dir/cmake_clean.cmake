@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_ml"
+  "../bench/bench_perf_ml.pdb"
+  "CMakeFiles/bench_perf_ml.dir/bench_perf_ml.cpp.o"
+  "CMakeFiles/bench_perf_ml.dir/bench_perf_ml.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

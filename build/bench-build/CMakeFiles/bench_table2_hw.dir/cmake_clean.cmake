@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_hw"
+  "../bench/bench_table2_hw.pdb"
+  "CMakeFiles/bench_table2_hw.dir/bench_table2_hw.cpp.o"
+  "CMakeFiles/bench_table2_hw.dir/bench_table2_hw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

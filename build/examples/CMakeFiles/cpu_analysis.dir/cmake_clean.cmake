@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_analysis.dir/cpu_analysis.cpp.o"
+  "CMakeFiles/cpu_analysis.dir/cpu_analysis.cpp.o.d"
+  "cpu_analysis"
+  "cpu_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_prediction.dir/matmul_prediction.cpp.o"
+  "CMakeFiles/matmul_prediction.dir/matmul_prediction.cpp.o.d"
+  "matmul_prediction"
+  "matmul_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_hardware_scaling.dir/nw_hardware_scaling.cpp.o"
+  "CMakeFiles/nw_hardware_scaling.dir/nw_hardware_scaling.cpp.o.d"
+  "nw_hardware_scaling"
+  "nw_hardware_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_hardware_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

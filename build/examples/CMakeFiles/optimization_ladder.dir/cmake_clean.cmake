@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimization_ladder.dir/optimization_ladder.cpp.o"
+  "CMakeFiles/optimization_ladder.dir/optimization_ladder.cpp.o.d"
+  "optimization_ladder"
+  "optimization_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimization_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

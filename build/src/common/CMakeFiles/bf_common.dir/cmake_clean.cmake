@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_common.dir/csv.cpp.o"
+  "CMakeFiles/bf_common.dir/csv.cpp.o.d"
+  "CMakeFiles/bf_common.dir/log.cpp.o"
+  "CMakeFiles/bf_common.dir/log.cpp.o.d"
+  "CMakeFiles/bf_common.dir/string_util.cpp.o"
+  "CMakeFiles/bf_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/bf_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/bf_common.dir/thread_pool.cpp.o.d"
+  "libbf_common.a"
+  "libbf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

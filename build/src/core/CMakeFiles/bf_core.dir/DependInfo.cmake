@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bottleneck.cpp" "src/core/CMakeFiles/bf_core.dir/bottleneck.cpp.o" "gcc" "src/core/CMakeFiles/bf_core.dir/bottleneck.cpp.o.d"
+  "/root/repo/src/core/counter_models.cpp" "src/core/CMakeFiles/bf_core.dir/counter_models.cpp.o" "gcc" "src/core/CMakeFiles/bf_core.dir/counter_models.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/bf_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/bf_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/pca_refine.cpp" "src/core/CMakeFiles/bf_core.dir/pca_refine.cpp.o" "gcc" "src/core/CMakeFiles/bf_core.dir/pca_refine.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/bf_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/bf_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/bf_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/bf_core.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/bf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/bf_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/bf_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bf_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_core.dir/bottleneck.cpp.o"
+  "CMakeFiles/bf_core.dir/bottleneck.cpp.o.d"
+  "CMakeFiles/bf_core.dir/counter_models.cpp.o"
+  "CMakeFiles/bf_core.dir/counter_models.cpp.o.d"
+  "CMakeFiles/bf_core.dir/model.cpp.o"
+  "CMakeFiles/bf_core.dir/model.cpp.o.d"
+  "CMakeFiles/bf_core.dir/pca_refine.cpp.o"
+  "CMakeFiles/bf_core.dir/pca_refine.cpp.o.d"
+  "CMakeFiles/bf_core.dir/pipeline.cpp.o"
+  "CMakeFiles/bf_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/bf_core.dir/predictor.cpp.o"
+  "CMakeFiles/bf_core.dir/predictor.cpp.o.d"
+  "libbf_core.a"
+  "libbf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpusim/cpu_arch.cpp" "src/cpusim/CMakeFiles/bf_cpusim.dir/cpu_arch.cpp.o" "gcc" "src/cpusim/CMakeFiles/bf_cpusim.dir/cpu_arch.cpp.o.d"
+  "/root/repo/src/cpusim/cpu_engine.cpp" "src/cpusim/CMakeFiles/bf_cpusim.dir/cpu_engine.cpp.o" "gcc" "src/cpusim/CMakeFiles/bf_cpusim.dir/cpu_engine.cpp.o.d"
+  "/root/repo/src/cpusim/cpu_workloads.cpp" "src/cpusim/CMakeFiles/bf_cpusim.dir/cpu_workloads.cpp.o" "gcc" "src/cpusim/CMakeFiles/bf_cpusim.dir/cpu_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/bf_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/bf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bf_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_cpusim.dir/cpu_arch.cpp.o"
+  "CMakeFiles/bf_cpusim.dir/cpu_arch.cpp.o.d"
+  "CMakeFiles/bf_cpusim.dir/cpu_engine.cpp.o"
+  "CMakeFiles/bf_cpusim.dir/cpu_engine.cpp.o.d"
+  "CMakeFiles/bf_cpusim.dir/cpu_workloads.cpp.o"
+  "CMakeFiles/bf_cpusim.dir/cpu_workloads.cpp.o.d"
+  "libbf_cpusim.a"
+  "libbf_cpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_cpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/arch.cpp" "src/gpusim/CMakeFiles/bf_gpusim.dir/arch.cpp.o" "gcc" "src/gpusim/CMakeFiles/bf_gpusim.dir/arch.cpp.o.d"
+  "/root/repo/src/gpusim/cache.cpp" "src/gpusim/CMakeFiles/bf_gpusim.dir/cache.cpp.o" "gcc" "src/gpusim/CMakeFiles/bf_gpusim.dir/cache.cpp.o.d"
+  "/root/repo/src/gpusim/coalescer.cpp" "src/gpusim/CMakeFiles/bf_gpusim.dir/coalescer.cpp.o" "gcc" "src/gpusim/CMakeFiles/bf_gpusim.dir/coalescer.cpp.o.d"
+  "/root/repo/src/gpusim/counters.cpp" "src/gpusim/CMakeFiles/bf_gpusim.dir/counters.cpp.o" "gcc" "src/gpusim/CMakeFiles/bf_gpusim.dir/counters.cpp.o.d"
+  "/root/repo/src/gpusim/engine.cpp" "src/gpusim/CMakeFiles/bf_gpusim.dir/engine.cpp.o" "gcc" "src/gpusim/CMakeFiles/bf_gpusim.dir/engine.cpp.o.d"
+  "/root/repo/src/gpusim/occupancy.cpp" "src/gpusim/CMakeFiles/bf_gpusim.dir/occupancy.cpp.o" "gcc" "src/gpusim/CMakeFiles/bf_gpusim.dir/occupancy.cpp.o.d"
+  "/root/repo/src/gpusim/power.cpp" "src/gpusim/CMakeFiles/bf_gpusim.dir/power.cpp.o" "gcc" "src/gpusim/CMakeFiles/bf_gpusim.dir/power.cpp.o.d"
+  "/root/repo/src/gpusim/sharedmem.cpp" "src/gpusim/CMakeFiles/bf_gpusim.dir/sharedmem.cpp.o" "gcc" "src/gpusim/CMakeFiles/bf_gpusim.dir/sharedmem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_gpusim.dir/arch.cpp.o"
+  "CMakeFiles/bf_gpusim.dir/arch.cpp.o.d"
+  "CMakeFiles/bf_gpusim.dir/cache.cpp.o"
+  "CMakeFiles/bf_gpusim.dir/cache.cpp.o.d"
+  "CMakeFiles/bf_gpusim.dir/coalescer.cpp.o"
+  "CMakeFiles/bf_gpusim.dir/coalescer.cpp.o.d"
+  "CMakeFiles/bf_gpusim.dir/counters.cpp.o"
+  "CMakeFiles/bf_gpusim.dir/counters.cpp.o.d"
+  "CMakeFiles/bf_gpusim.dir/engine.cpp.o"
+  "CMakeFiles/bf_gpusim.dir/engine.cpp.o.d"
+  "CMakeFiles/bf_gpusim.dir/occupancy.cpp.o"
+  "CMakeFiles/bf_gpusim.dir/occupancy.cpp.o.d"
+  "CMakeFiles/bf_gpusim.dir/power.cpp.o"
+  "CMakeFiles/bf_gpusim.dir/power.cpp.o.d"
+  "CMakeFiles/bf_gpusim.dir/sharedmem.cpp.o"
+  "CMakeFiles/bf_gpusim.dir/sharedmem.cpp.o.d"
+  "libbf_gpusim.a"
+  "libbf_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/matmul.cpp" "src/kernels/CMakeFiles/bf_kernels.dir/matmul.cpp.o" "gcc" "src/kernels/CMakeFiles/bf_kernels.dir/matmul.cpp.o.d"
+  "/root/repo/src/kernels/misc.cpp" "src/kernels/CMakeFiles/bf_kernels.dir/misc.cpp.o" "gcc" "src/kernels/CMakeFiles/bf_kernels.dir/misc.cpp.o.d"
+  "/root/repo/src/kernels/nw.cpp" "src/kernels/CMakeFiles/bf_kernels.dir/nw.cpp.o" "gcc" "src/kernels/CMakeFiles/bf_kernels.dir/nw.cpp.o.d"
+  "/root/repo/src/kernels/reduce.cpp" "src/kernels/CMakeFiles/bf_kernels.dir/reduce.cpp.o" "gcc" "src/kernels/CMakeFiles/bf_kernels.dir/reduce.cpp.o.d"
+  "/root/repo/src/kernels/spmv.cpp" "src/kernels/CMakeFiles/bf_kernels.dir/spmv.cpp.o" "gcc" "src/kernels/CMakeFiles/bf_kernels.dir/spmv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/bf_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

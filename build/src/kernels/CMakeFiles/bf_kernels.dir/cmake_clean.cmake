@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_kernels.dir/matmul.cpp.o"
+  "CMakeFiles/bf_kernels.dir/matmul.cpp.o.d"
+  "CMakeFiles/bf_kernels.dir/misc.cpp.o"
+  "CMakeFiles/bf_kernels.dir/misc.cpp.o.d"
+  "CMakeFiles/bf_kernels.dir/nw.cpp.o"
+  "CMakeFiles/bf_kernels.dir/nw.cpp.o.d"
+  "CMakeFiles/bf_kernels.dir/reduce.cpp.o"
+  "CMakeFiles/bf_kernels.dir/reduce.cpp.o.d"
+  "CMakeFiles/bf_kernels.dir/spmv.cpp.o"
+  "CMakeFiles/bf_kernels.dir/spmv.cpp.o.d"
+  "libbf_kernels.a"
+  "libbf_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

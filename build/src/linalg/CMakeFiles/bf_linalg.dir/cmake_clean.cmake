@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/bf_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/bf_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/bf_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/bf_linalg.dir/solve.cpp.o"
+  "CMakeFiles/bf_linalg.dir/solve.cpp.o.d"
+  "libbf_linalg.a"
+  "libbf_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

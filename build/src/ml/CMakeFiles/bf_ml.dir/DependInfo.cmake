@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cv.cpp" "src/ml/CMakeFiles/bf_ml.dir/cv.cpp.o" "gcc" "src/ml/CMakeFiles/bf_ml.dir/cv.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/bf_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/bf_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/bf_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/bf_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/linear_model.cpp" "src/ml/CMakeFiles/bf_ml.dir/linear_model.cpp.o" "gcc" "src/ml/CMakeFiles/bf_ml.dir/linear_model.cpp.o.d"
+  "/root/repo/src/ml/mars.cpp" "src/ml/CMakeFiles/bf_ml.dir/mars.cpp.o" "gcc" "src/ml/CMakeFiles/bf_ml.dir/mars.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/bf_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/bf_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/model_pool.cpp" "src/ml/CMakeFiles/bf_ml.dir/model_pool.cpp.o" "gcc" "src/ml/CMakeFiles/bf_ml.dir/model_pool.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/ml/CMakeFiles/bf_ml.dir/pca.cpp.o" "gcc" "src/ml/CMakeFiles/bf_ml.dir/pca.cpp.o.d"
+  "/root/repo/src/ml/stepwise.cpp" "src/ml/CMakeFiles/bf_ml.dir/stepwise.cpp.o" "gcc" "src/ml/CMakeFiles/bf_ml.dir/stepwise.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/bf_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/bf_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bf_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

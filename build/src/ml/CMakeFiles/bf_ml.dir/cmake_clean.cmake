@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_ml.dir/cv.cpp.o"
+  "CMakeFiles/bf_ml.dir/cv.cpp.o.d"
+  "CMakeFiles/bf_ml.dir/dataset.cpp.o"
+  "CMakeFiles/bf_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/bf_ml.dir/forest.cpp.o"
+  "CMakeFiles/bf_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/bf_ml.dir/linear_model.cpp.o"
+  "CMakeFiles/bf_ml.dir/linear_model.cpp.o.d"
+  "CMakeFiles/bf_ml.dir/mars.cpp.o"
+  "CMakeFiles/bf_ml.dir/mars.cpp.o.d"
+  "CMakeFiles/bf_ml.dir/metrics.cpp.o"
+  "CMakeFiles/bf_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/bf_ml.dir/model_pool.cpp.o"
+  "CMakeFiles/bf_ml.dir/model_pool.cpp.o.d"
+  "CMakeFiles/bf_ml.dir/pca.cpp.o"
+  "CMakeFiles/bf_ml.dir/pca.cpp.o.d"
+  "CMakeFiles/bf_ml.dir/stepwise.cpp.o"
+  "CMakeFiles/bf_ml.dir/stepwise.cpp.o.d"
+  "CMakeFiles/bf_ml.dir/tree.cpp.o"
+  "CMakeFiles/bf_ml.dir/tree.cpp.o.d"
+  "libbf_ml.a"
+  "libbf_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

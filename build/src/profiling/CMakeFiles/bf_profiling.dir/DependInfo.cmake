@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/counter_registry.cpp" "src/profiling/CMakeFiles/bf_profiling.dir/counter_registry.cpp.o" "gcc" "src/profiling/CMakeFiles/bf_profiling.dir/counter_registry.cpp.o.d"
+  "/root/repo/src/profiling/profiler.cpp" "src/profiling/CMakeFiles/bf_profiling.dir/profiler.cpp.o" "gcc" "src/profiling/CMakeFiles/bf_profiling.dir/profiler.cpp.o.d"
+  "/root/repo/src/profiling/repository.cpp" "src/profiling/CMakeFiles/bf_profiling.dir/repository.cpp.o" "gcc" "src/profiling/CMakeFiles/bf_profiling.dir/repository.cpp.o.d"
+  "/root/repo/src/profiling/sweep.cpp" "src/profiling/CMakeFiles/bf_profiling.dir/sweep.cpp.o" "gcc" "src/profiling/CMakeFiles/bf_profiling.dir/sweep.cpp.o.d"
+  "/root/repo/src/profiling/workloads.cpp" "src/profiling/CMakeFiles/bf_profiling.dir/workloads.cpp.o" "gcc" "src/profiling/CMakeFiles/bf_profiling.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/bf_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bf_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/bf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/bf_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_profiling.dir/counter_registry.cpp.o"
+  "CMakeFiles/bf_profiling.dir/counter_registry.cpp.o.d"
+  "CMakeFiles/bf_profiling.dir/profiler.cpp.o"
+  "CMakeFiles/bf_profiling.dir/profiler.cpp.o.d"
+  "CMakeFiles/bf_profiling.dir/repository.cpp.o"
+  "CMakeFiles/bf_profiling.dir/repository.cpp.o.d"
+  "CMakeFiles/bf_profiling.dir/sweep.cpp.o"
+  "CMakeFiles/bf_profiling.dir/sweep.cpp.o.d"
+  "CMakeFiles/bf_profiling.dir/workloads.cpp.o"
+  "CMakeFiles/bf_profiling.dir/workloads.cpp.o.d"
+  "libbf_profiling.a"
+  "libbf_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

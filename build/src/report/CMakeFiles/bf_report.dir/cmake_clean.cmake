@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_report.dir/ascii.cpp.o"
+  "CMakeFiles/bf_report.dir/ascii.cpp.o.d"
+  "CMakeFiles/bf_report.dir/export.cpp.o"
+  "CMakeFiles/bf_report.dir/export.cpp.o.d"
+  "libbf_report.a"
+  "libbf_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_test_common.dir/common_test.cpp.o"
+  "CMakeFiles/bf_test_common.dir/common_test.cpp.o.d"
+  "bf_test_common"
+  "bf_test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_test_core.dir/core_test.cpp.o"
+  "CMakeFiles/bf_test_core.dir/core_test.cpp.o.d"
+  "CMakeFiles/bf_test_core.dir/paper_claims_test.cpp.o"
+  "CMakeFiles/bf_test_core.dir/paper_claims_test.cpp.o.d"
+  "bf_test_core"
+  "bf_test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_test_cpusim.dir/cpusim_test.cpp.o"
+  "CMakeFiles/bf_test_cpusim.dir/cpusim_test.cpp.o.d"
+  "bf_test_cpusim"
+  "bf_test_cpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_test_cpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_test_cv_export.dir/cv_export_test.cpp.o"
+  "CMakeFiles/bf_test_cv_export.dir/cv_export_test.cpp.o.d"
+  "bf_test_cv_export"
+  "bf_test_cv_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_test_cv_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

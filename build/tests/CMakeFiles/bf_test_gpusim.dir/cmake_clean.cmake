@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_test_gpusim.dir/engine_test.cpp.o"
+  "CMakeFiles/bf_test_gpusim.dir/engine_test.cpp.o.d"
+  "CMakeFiles/bf_test_gpusim.dir/gpusim_test.cpp.o"
+  "CMakeFiles/bf_test_gpusim.dir/gpusim_test.cpp.o.d"
+  "CMakeFiles/bf_test_gpusim.dir/power_test.cpp.o"
+  "CMakeFiles/bf_test_gpusim.dir/power_test.cpp.o.d"
+  "bf_test_gpusim"
+  "bf_test_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_test_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_test_kernels.dir/kernels_test.cpp.o"
+  "CMakeFiles/bf_test_kernels.dir/kernels_test.cpp.o.d"
+  "CMakeFiles/bf_test_kernels.dir/spmv_test.cpp.o"
+  "CMakeFiles/bf_test_kernels.dir/spmv_test.cpp.o.d"
+  "bf_test_kernels"
+  "bf_test_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_test_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bf_test_linalg.
+# This may be replaced when dependencies are built.

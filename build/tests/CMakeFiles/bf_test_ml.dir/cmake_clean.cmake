@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_test_ml.dir/baselines_test.cpp.o"
+  "CMakeFiles/bf_test_ml.dir/baselines_test.cpp.o.d"
+  "CMakeFiles/bf_test_ml.dir/dataset_test.cpp.o"
+  "CMakeFiles/bf_test_ml.dir/dataset_test.cpp.o.d"
+  "CMakeFiles/bf_test_ml.dir/forest_test.cpp.o"
+  "CMakeFiles/bf_test_ml.dir/forest_test.cpp.o.d"
+  "CMakeFiles/bf_test_ml.dir/glm_mars_test.cpp.o"
+  "CMakeFiles/bf_test_ml.dir/glm_mars_test.cpp.o.d"
+  "CMakeFiles/bf_test_ml.dir/pca_test.cpp.o"
+  "CMakeFiles/bf_test_ml.dir/pca_test.cpp.o.d"
+  "CMakeFiles/bf_test_ml.dir/tree_test.cpp.o"
+  "CMakeFiles/bf_test_ml.dir/tree_test.cpp.o.d"
+  "bf_test_ml"
+  "bf_test_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

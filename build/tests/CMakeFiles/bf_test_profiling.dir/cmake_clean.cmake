@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_test_profiling.dir/profiling_test.cpp.o"
+  "CMakeFiles/bf_test_profiling.dir/profiling_test.cpp.o.d"
+  "bf_test_profiling"
+  "bf_test_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_test_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

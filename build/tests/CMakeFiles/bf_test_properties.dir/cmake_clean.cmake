@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_test_properties.dir/atomics_serialization_test.cpp.o"
+  "CMakeFiles/bf_test_properties.dir/atomics_serialization_test.cpp.o.d"
+  "CMakeFiles/bf_test_properties.dir/engine_property_test.cpp.o"
+  "CMakeFiles/bf_test_properties.dir/engine_property_test.cpp.o.d"
+  "bf_test_properties"
+  "bf_test_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

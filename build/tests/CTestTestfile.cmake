@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bf_test_common "/root/repo/build/tests/bf_test_common")
+set_tests_properties(bf_test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;bf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bf_test_linalg "/root/repo/build/tests/bf_test_linalg")
+set_tests_properties(bf_test_linalg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;bf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bf_test_ml "/root/repo/build/tests/bf_test_ml")
+set_tests_properties(bf_test_ml PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;bf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bf_test_gpusim "/root/repo/build/tests/bf_test_gpusim")
+set_tests_properties(bf_test_gpusim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;bf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bf_test_kernels "/root/repo/build/tests/bf_test_kernels")
+set_tests_properties(bf_test_kernels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;bf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bf_test_profiling "/root/repo/build/tests/bf_test_profiling")
+set_tests_properties(bf_test_profiling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;bf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bf_test_core "/root/repo/build/tests/bf_test_core")
+set_tests_properties(bf_test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;bf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bf_test_report "/root/repo/build/tests/bf_test_report")
+set_tests_properties(bf_test_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;bf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bf_test_cpusim "/root/repo/build/tests/bf_test_cpusim")
+set_tests_properties(bf_test_cpusim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;bf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bf_test_cv_export "/root/repo/build/tests/bf_test_cv_export")
+set_tests_properties(bf_test_cv_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;bf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bf_test_robustness "/root/repo/build/tests/bf_test_robustness")
+set_tests_properties(bf_test_robustness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;bf_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bf_test_properties "/root/repo/build/tests/bf_test_properties")
+set_tests_properties(bf_test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;22;bf_add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bf_analyze.dir/bf_analyze.cpp.o"
+  "CMakeFiles/bf_analyze.dir/bf_analyze.cpp.o.d"
+  "bf_analyze"
+  "bf_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bf_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
