@@ -4,15 +4,16 @@
 //
 // Build & run:  ./build/examples/matmul_prediction [max_train_size]
 #include <cstdio>
-#include <cstdlib>
 
+#include "common/string_util.hpp"
 #include "core/predictor.hpp"
 #include "profiling/sweep.hpp"
 #include "profiling/workloads.hpp"
 
 int main(int argc, char** argv) {
   using namespace bf;
-  const int max_n = argc > 1 ? std::atoi(argv[1]) : 1024;
+  const int max_n =
+      argc > 1 ? static_cast<int>(parse_int(argv[1])) : 1024;
 
   const gpusim::Device device(gpusim::gtx580());
   const auto workload = profiling::matmul_workload();

@@ -1,8 +1,11 @@
 #include "common/string_util.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+
+#include "common/error.hpp"
 
 namespace bf {
 
@@ -53,6 +56,22 @@ std::string format_double(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+double parse_double(std::string_view s) {
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  BF_CHECK_MSG(ec == std::errc{} && ptr == s.data() + s.size(),
+               "cannot parse '" << std::string(s) << "' as double");
+  return v;
+}
+
+std::int64_t parse_int(std::string_view s) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  BF_CHECK_MSG(ec == std::errc{} && ptr == s.data() + s.size(),
+               "cannot parse '" << std::string(s) << "' as integer");
+  return v;
 }
 
 std::string human_bytes(double bytes) {

@@ -1,6 +1,7 @@
 // Small string helpers shared across the library.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,6 +26,12 @@ std::string to_lower(std::string_view s);
 
 /// printf-like formatting for doubles with fixed precision.
 std::string format_double(double v, int precision);
+
+/// Parse a full string as a double/integer; throws bf::Error on trailing
+/// garbage or empty input (unlike atof/stod, which swallow both — the
+/// failure mode that corrupts CSV-derived datasets silently).
+double parse_double(std::string_view s);
+std::int64_t parse_int(std::string_view s);
 
 /// Format a byte/size count with a human suffix (e.g. "16.0 MB").
 std::string human_bytes(double bytes);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/check.hpp"
 #include "common/error.hpp"
 #include "gpusim/power.hpp"
 #include "profiling/counter_registry.hpp"
@@ -143,6 +144,14 @@ ProfileResult Profiler::profile(const Workload& workload,
     if (it != out.counters.end()) it->second = std::min(it->second, 1.0);
   }
   out.time_ms = jitter(agg.time_ms, options_.time_noise_sd);
+
+  if (options_.validate) {
+    auto metrics = out.counters;
+    metrics["time_ms"] = out.time_ms;
+    check::throw_if_errors(
+        check::validate_metrics(metrics, device.arch()),
+        "profiled run of '" + workload.name + "' on " + out.arch);
+  }
   return out;
 }
 

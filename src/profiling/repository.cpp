@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "common/error.hpp"
+#include "gpusim/arch.hpp"
 
 namespace fs = std::filesystem;
 
@@ -24,7 +25,8 @@ std::string sanitize(const std::string& s) {
 
 }  // namespace
 
-RunRepository::RunRepository(std::string root) : root_(std::move(root)) {
+RunRepository::RunRepository(std::string root, RepositoryOptions options)
+    : root_(std::move(root)), options_(options) {
   BF_CHECK_MSG(!root_.empty(), "empty repository root");
   fs::create_directories(root_);
 }
@@ -43,7 +45,22 @@ std::optional<ml::Dataset> RunRepository::load(const std::string& workload,
                                                const std::string& arch) const {
   const std::string path = path_for(workload, arch);
   if (!fs::exists(path)) return std::nullopt;
-  return ml::Dataset::from_csv(CsvTable::load(path));
+  ml::Dataset ds = ml::Dataset::from_csv(CsvTable::load(path));
+  if (options_.validate_on_load) {
+    // Keys that do not name a registered architecture (foreign data sets)
+    // cannot be checked against machine constants; load them as-is.
+    const gpusim::ArchSpec* spec = nullptr;
+    try {
+      spec = &gpusim::arch_by_name(arch);
+    } catch (const Error&) {
+    }
+    if (spec != nullptr) {
+      check::throw_if_errors(
+          check::validate_dataset(ds, *spec, options_.check_options),
+          "repository sweep " + path);
+    }
+  }
+  return ds;
 }
 
 bool RunRepository::contains(const std::string& workload,

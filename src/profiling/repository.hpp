@@ -8,14 +8,25 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "ml/dataset.hpp"
 
 namespace bf::profiling {
 
+struct RepositoryOptions {
+  /// Validate every loaded sweep against the bf::check counter
+  /// invariants when its arch key resolves to a known architecture;
+  /// throws bf::Error listing the violations. A repository entry that
+  /// breaks a conservation law would silently poison every model trained
+  /// from it, so this is on by default.
+  bool validate_on_load = true;
+  check::Options check_options = check::measured_tolerance();
+};
+
 class RunRepository {
  public:
   /// Creates `root` if it does not exist.
-  explicit RunRepository(std::string root);
+  explicit RunRepository(std::string root, RepositoryOptions options = {});
 
   /// Store a sweep dataset under (workload, arch); overwrites.
   void save(const std::string& workload, const std::string& arch,
@@ -48,6 +59,7 @@ class RunRepository {
                        const std::string& arch) const;
 
   std::string root_;
+  RepositoryOptions options_;
 };
 
 }  // namespace bf::profiling

@@ -7,17 +7,21 @@
 //   bf_analyze --workload reduce1 --arch gtx580
 //   bf_analyze --workload matrixMul --min 32 --max 2048 --runs 24
 //              --predict 96 --predict 384 --repo /tmp/bf_runs
+//   bf_analyze --workload needle --arch k20m --check
 //   bf_analyze --list
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "common/error.hpp"
+#include "common/string_util.hpp"
 #include "core/pipeline.hpp"
 #include "core/predictor.hpp"
 #include "gpusim/arch.hpp"
+#include "profiling/repository.hpp"
+#include "profiling/sweep.hpp"
 #include "profiling/workloads.hpp"
 #include "report/ascii.hpp"
 
@@ -35,6 +39,10 @@ void usage() {
       "  --predict N       predict an unseen size (repeatable)\n"
       "  --repo DIR        cache sweeps in DIR\n"
       "  --trees N         forest size (default 500)\n"
+      "  --check           validate counter invariants instead of\n"
+      "                    modelling: sweeps the workload (or, with\n"
+      "                    --repo, every stored sweep) and reports rule\n"
+      "                    violations; exits non-zero on any\n"
       "  --list            list workloads and architectures\n");
 }
 
@@ -48,6 +56,7 @@ struct Args {
   std::vector<double> predict;
   std::string repo;
   bool list = false;
+  bool check = false;
 };
 
 Args parse(int argc, char** argv) {
@@ -63,19 +72,21 @@ Args parse(int argc, char** argv) {
     } else if (a == "--arch") {
       args.arch = next();
     } else if (a == "--min") {
-      args.min_size = std::atof(next());
+      args.min_size = parse_double(next());
     } else if (a == "--max") {
-      args.max_size = std::atof(next());
+      args.max_size = parse_double(next());
     } else if (a == "--runs") {
-      args.runs = std::atoi(next());
+      args.runs = static_cast<int>(parse_int(next()));
     } else if (a == "--trees") {
-      args.trees = std::atoi(next());
+      args.trees = static_cast<int>(parse_int(next()));
     } else if (a == "--predict") {
-      args.predict.push_back(std::atof(next()));
+      args.predict.push_back(parse_double(next()));
     } else if (a == "--repo") {
       args.repo = next();
     } else if (a == "--list") {
       args.list = true;
+    } else if (a == "--check") {
+      args.check = true;
     } else if (a == "--help" || a == "-h") {
       usage();
       std::exit(0);
@@ -102,6 +113,61 @@ void default_range(const std::string& workload, double& lo, double& hi,
     hi = 2048;
     multiple = 32;
   }
+}
+
+/// --check mode: validate counter data against the bf::check invariant
+/// table instead of fitting models. Returns the number of violations.
+std::size_t run_check_mode(const Args& args, double lo, double hi,
+                           std::int64_t multiple) {
+  std::printf("checking counter invariants (%zu rules)\n\n",
+              check::rule_table().size());
+
+  std::vector<check::Violation> violations;
+  if (!args.repo.empty()) {
+    // Validate every sweep stored in the repository.
+    profiling::RepositoryOptions ropts;
+    ropts.validate_on_load = false;  // report instead of throwing
+    const profiling::RunRepository repo(args.repo, ropts);
+    for (const auto& [workload, arch] : repo.keys()) {
+      const gpusim::ArchSpec* spec = nullptr;
+      try {
+        spec = &gpusim::arch_by_name(arch);
+      } catch (const bf::Error&) {
+        std::printf("  %s on %s: unknown architecture, skipped\n",
+                    workload.c_str(), arch.c_str());
+        continue;
+      }
+      const auto ds = repo.load(workload, arch);
+      const auto found = check::validate_dataset(*ds, *spec);
+      std::printf("  %s on %s: %zu rows, %zu violation(s)\n",
+                  workload.c_str(), arch.c_str(), ds->num_rows(),
+                  found.size());
+      violations.insert(violations.end(), found.begin(), found.end());
+    }
+  } else {
+    // Sweep the requested workload with validation live at every layer:
+    // the engine hook, the profiler, and the final dataset.
+    check::install_engine_validator();
+    const profiling::Workload workload =
+        profiling::workload_by_name(args.workload);
+    const gpusim::Device device(gpusim::arch_by_name(args.arch));
+    profiling::SweepOptions sopts;
+    sopts.profiler.validate = true;
+    const ml::Dataset ds = profiling::sweep(
+        workload, device,
+        profiling::log2_sizes(lo, hi, args.runs, multiple), sopts);
+    violations = check::validate_dataset(ds, device.arch());
+    std::printf("  %s on %s: %zu rows, %zu violation(s)\n",
+                args.workload.c_str(), args.arch.c_str(), ds.num_rows(),
+                violations.size());
+  }
+
+  if (violations.empty()) {
+    std::printf("\nall counter invariants hold\n");
+  } else {
+    std::printf("\n%s", check::to_string(violations).c_str());
+  }
+  return violations.size();
 }
 
 }  // namespace
@@ -133,6 +199,10 @@ int main(int argc, char** argv) {
     default_range(args.workload, lo, hi, multiple);
     if (args.min_size > 0) lo = args.min_size;
     if (args.max_size > 0) hi = args.max_size;
+
+    if (args.check) {
+      return run_check_mode(args, lo, hi, multiple) == 0 ? 0 : 1;
+    }
 
     core::PipelineConfig config;
     config.workload = profiling::workload_by_name(args.workload);

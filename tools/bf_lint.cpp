@@ -1,0 +1,283 @@
+// bf_lint — a fast project linter for the BlackForest tree, run as a
+// ctest so violations fail the build.
+//
+//   bf_lint DIR [DIR...]
+//
+// Scans every .hpp/.cpp under the given roots for banned patterns:
+//
+//   pragma-once     .hpp files must contain #pragma once
+//   raw-new         raw `new` outside RAII (use std::make_unique & co.)
+//   raw-delete      raw `delete` (deleted members `= delete` are fine)
+//   no-rand         rand()/srand() instead of the seeded bf::Rng
+//   float-literal   float literals (1.0f) in double-precision stat code
+//   unchecked-parse atof/atoi/stod/... which swallow trailing garbage;
+//                   use bf::parse_double / bf::parse_int / CsvTable
+//
+// Comments and string/char literals are stripped before matching, so
+// prose and format strings never trip a rule. A finding on a line
+// containing `bf-lint: allow(<rule>)` is suppressed.
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Blank out comments and string/char literals, preserving offsets and
+/// newlines so line numbers stay valid.
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out = src;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < out.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size()) out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_number = false;
+};
+
+std::vector<Token> tokenize(const std::string& stripped) {
+  std::vector<Token> tokens;
+  int line = 1;
+  for (std::size_t i = 0; i < stripped.size();) {
+    const char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 &&
+        (i == 0 || !is_ident_char(stripped[i - 1]))) {
+      // Numeric literal: digits, hex, '.', exponents, suffixes.
+      std::size_t j = i;
+      while (j < stripped.size() &&
+             (is_ident_char(stripped[j]) || stripped[j] == '.' ||
+              ((stripped[j] == '+' || stripped[j] == '-') && j > i &&
+               (stripped[j - 1] == 'e' || stripped[j - 1] == 'E' ||
+                stripped[j - 1] == 'p' || stripped[j - 1] == 'P')))) {
+        ++j;
+      }
+      tokens.push_back({stripped.substr(i, j - i), line, true});
+      i = j;
+      continue;
+    }
+    if (is_ident_char(c)) {
+      std::size_t j = i;
+      while (j < stripped.size() && is_ident_char(stripped[j])) ++j;
+      tokens.push_back({stripped.substr(i, j - i), line, false});
+      i = j;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+      tokens.push_back({std::string(1, c), line, false});
+    }
+    ++i;
+  }
+  return tokens;
+}
+
+/// True for a decimal floating literal with an f/F suffix (1.0f, 3.f,
+/// 1e-3f). Hex literals (0xFF) and integers are not flagged.
+bool is_float_literal(const std::string& t) {
+  if (t.size() < 2) return false;
+  if (t.back() != 'f' && t.back() != 'F') return false;
+  if (t.size() > 2 && (t[1] == 'x' || t[1] == 'X')) return false;  // hex
+  for (const char c : t) {
+    if (c == '.' || c == 'e' || c == 'E') return true;
+  }
+  return false;
+}
+
+const std::set<std::string> kRandTokens = {"rand", "srand", "drand48",
+                                           "random_shuffle"};
+const std::set<std::string> kParseTokens = {"atof",   "atoi",  "atol",
+                                            "strtod", "strtof", "stod",
+                                            "stof",   "stoi",   "stol"};
+
+void scan_file(const fs::path& path, std::vector<Finding>& findings) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    findings.push_back({path.string(), 0, "io", "cannot read file"});
+    return;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string src = buf.str();
+  const std::string stripped = strip_comments_and_strings(src);
+
+  // Raw lines, for suppression comments.
+  std::vector<std::string> lines;
+  {
+    std::istringstream ls(src);
+    std::string line;
+    while (std::getline(ls, line)) lines.push_back(line);
+  }
+  const auto suppressed = [&lines](int line, const std::string& rule) {
+    if (line < 1 || line > static_cast<int>(lines.size())) return false;
+    const std::string& l = lines[static_cast<std::size_t>(line - 1)];
+    return l.find("bf-lint: allow(" + rule + ")") != std::string::npos;
+  };
+  const auto report = [&](int line, const std::string& rule,
+                          const std::string& message) {
+    if (suppressed(line, rule)) return;
+    findings.push_back({path.string(), line, rule, message});
+  };
+
+  if (path.extension() == ".hpp" &&
+      stripped.find("#pragma once") == std::string::npos) {
+    report(1, "pragma-once", "header is missing #pragma once");
+  }
+
+  const std::vector<Token> tokens = tokenize(stripped);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.is_number) {
+      if (is_float_literal(t.text)) {
+        report(t.line, "float-literal",
+               "float literal '" + t.text +
+                   "' in double-precision code (drop the f suffix)");
+      }
+      continue;
+    }
+    if (t.text == "new") {
+      report(t.line, "raw-new",
+             "raw new (use std::make_unique / containers)");
+    } else if (t.text == "delete") {
+      const bool deleted_member = i > 0 && tokens[i - 1].text == "=";
+      if (!deleted_member) {
+        report(t.line, "raw-delete",
+               "raw delete (owning types must use RAII)");
+      }
+    } else if (kRandTokens.count(t.text) != 0) {
+      report(t.line, "no-rand",
+             "'" + t.text + "' is unseeded/non-reproducible (use bf::Rng)");
+    } else if (kParseTokens.count(t.text) != 0) {
+      report(t.line, "unchecked-parse",
+             "'" + t.text +
+                 "' swallows trailing garbage (use bf::parse_double / "
+                 "bf::parse_int / CsvTable)");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bf_lint DIR [DIR...]\n");
+    return 2;
+  }
+  std::vector<Finding> findings;
+  std::size_t files = 0;
+  for (int a = 1; a < argc; ++a) {
+    const fs::path root(argv[a]);
+    if (!fs::exists(root)) {
+      std::fprintf(stderr, "bf_lint: no such path: %s\n", argv[a]);
+      return 2;
+    }
+    std::vector<fs::path> paths;
+    if (fs::is_regular_file(root)) {
+      paths.push_back(root);
+    } else {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file()) continue;
+        const auto ext = entry.path().extension();
+        if (ext == ".hpp" || ext == ".cpp") paths.push_back(entry.path());
+      }
+    }
+    for (const auto& p : paths) {
+      ++files;
+      scan_file(p, findings);
+    }
+  }
+  for (const auto& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("bf_lint: %zu violation(s) in %zu file(s) scanned\n",
+                findings.size(), files);
+    return 1;
+  }
+  std::printf("bf_lint: clean (%zu files scanned)\n", files);
+  return 0;
+}

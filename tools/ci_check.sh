@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# CI gate: UBSan-instrumented tier-1 suite, then the project linter.
+#
+#   tools/ci_check.sh [build-dir]
+#
+# Configures with BF_SANITIZE=undefined (fatal on any UB), builds
+# everything, runs the tier-1 ctest label under UBSan, then runs bf_lint
+# over src/, tools/ and examples/. Exits non-zero on the first failure.
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build-ubsan"}
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+echo "== configure (BF_SANITIZE=undefined) =="
+cmake -B "$BUILD" -S "$ROOT" -DBF_SANITIZE=undefined
+
+echo "== build =="
+cmake --build "$BUILD" -j "$JOBS"
+
+echo "== tier-1 tests under UBSan =="
+ctest --test-dir "$BUILD" -L tier1 --output-on-failure -j "$JOBS"
+
+echo "== lint =="
+"$BUILD/tools/bf_lint" "$ROOT/src" "$ROOT/tools" "$ROOT/examples"
+
+echo "ci_check: all gates passed"
