@@ -101,6 +101,10 @@ std::vector<Violation> validate_metrics(
       [&metrics](const std::string& name) -> std::optional<double> {
     const auto it = metrics.find(name);
     if (it == metrics.end()) return std::nullopt;
+    // A NaN metric is a dropped counter (multiplexing lost the event):
+    // treat it as absent so rules referencing it are skipped, exactly
+    // like a counter the generation does not expose.
+    if (std::isnan(it->second)) return std::nullopt;
     return it->second;
   };
   return validate_view(view, arch, options);
@@ -114,7 +118,11 @@ std::vector<Violation> validate_dataset(const ml::Dataset& ds,
     const CounterView view =
         [&ds, row](const std::string& name) -> std::optional<double> {
       if (!ds.has_column(name)) return std::nullopt;
-      return ds.column(name)[row];
+      const double v = ds.column(name)[row];
+      // NaN cells are dropped counters in a degraded sweep; skip the
+      // rules that reference them instead of reporting false positives.
+      if (std::isnan(v)) return std::nullopt;
+      return v;
     };
     for (auto& v : validate_view(view, arch, options)) {
       v.row = static_cast<long>(row);

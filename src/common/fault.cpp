@@ -1,0 +1,160 @@
+#include "common/fault.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/io.hpp"
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+
+namespace bf::fault {
+namespace {
+
+struct Point {
+  double rate = 0.0;
+  std::int64_t max_fires = -1;
+  PointStats stats;
+  Rng rng;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Point, std::less<>> points;
+  std::uint64_t seed = kDefaultSeed;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// Cheap "anything armed?" gate so unarmed evaluations cost one relaxed
+// load — the zero-cost-when-off guarantee.
+std::atomic<bool> g_active{false};
+
+std::once_flag g_env_once;
+
+void arm_locked(Registry& r, const std::string& point, double rate,
+                std::int64_t max_fires) {
+  BF_CHECK_MSG(!point.empty(), "fault point name is empty");
+  BF_CHECK_MSG(rate >= 0.0 && rate <= 1.0,
+               "fault rate for '" << point << "' must be in [0,1], got "
+                                  << rate);
+  Point p;
+  p.rate = rate;
+  p.max_fires = max_fires;
+  p.rng = Rng(r.seed ^ fnv1a64(point));
+  r.points[point] = std::move(p);
+  g_active.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool active() { return g_active.load(std::memory_order_relaxed); }
+
+void arm(const std::string& point, double rate, std::int64_t max_fires) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  arm_locked(r, point, rate, max_fires);
+}
+
+void configure(const std::string& spec) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const std::string& entry : split(spec, ',')) {
+    const std::string_view e = trim(entry);
+    if (e.empty()) continue;
+    const std::vector<std::string> parts = split(e, ':');
+    BF_CHECK_MSG(parts.size() == 2 || parts.size() == 3,
+                 "malformed fault spec entry '"
+                     << std::string(e)
+                     << "' (want <point>:<rate>[:<max_fires>])");
+    const double rate = parse_double(trim(parts[1]));
+    const std::int64_t max_fires =
+        parts.size() == 3 ? parse_int(trim(parts[2])) : -1;
+    arm_locked(r, std::string(trim(parts[0])), rate, max_fires);
+  }
+}
+
+void configure_from_env() {
+  Registry& r = registry();
+  {
+    const std::lock_guard<std::mutex> lock(r.mu);
+    if (const char* seed = std::getenv("BF_FAULT_SEED")) {
+      r.seed = static_cast<std::uint64_t>(parse_int(seed));
+    }
+  }
+  if (const char* spec = std::getenv("BF_FAULTS")) {
+    configure(spec);
+  }
+}
+
+void reset() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.points.clear();
+  g_active.store(false, std::memory_order_relaxed);
+}
+
+void reseed(std::uint64_t seed) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.seed = seed;
+  r.points.clear();
+  g_active.store(false, std::memory_order_relaxed);
+}
+
+bool should_fire(std::string_view point) {
+  std::call_once(g_env_once, [] { configure_from_env(); });
+  if (!g_active.load(std::memory_order_relaxed)) return false;
+
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.points.find(point);
+  if (it == r.points.end()) return false;
+  Point& p = it->second;
+  ++p.stats.evaluated;
+  if (p.rate <= 0.0) return false;
+  if (p.max_fires >= 0 &&
+      p.stats.fired >= static_cast<std::uint64_t>(p.max_fires)) {
+    return false;
+  }
+  const bool fire = p.rate >= 1.0 || p.rng.uniform() < p.rate;
+  if (fire) ++p.stats.fired;
+  return fire;
+}
+
+PointStats stats(std::string_view point) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.points.find(point);
+  return it == r.points.end() ? PointStats{} : it->second.stats;
+}
+
+std::vector<std::pair<std::string, PointStats>> all_stats() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::pair<std::string, PointStats>> out;
+  out.reserve(r.points.size());
+  for (const auto& [name, p] : r.points) out.emplace_back(name, p.stats);
+  return out;
+}
+
+std::string summary() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  if (r.points.empty()) return "fault injection: off";
+  std::ostringstream os;
+  os << "fault injection:";
+  for (const auto& [name, p] : r.points) {
+    os << " " << name << "(rate=" << p.rate << ", fired=" << p.stats.fired
+       << "/" << p.stats.evaluated << ")";
+  }
+  return os.str();
+}
+
+}  // namespace bf::fault

@@ -1,0 +1,114 @@
+// bf::fault — a deterministic, seedable fault-injection registry.
+//
+// Real profiler pipelines fail in mundane ways: runs crash or time out,
+// counter multiplexing drops events, replicates pick up noise spikes, and
+// stored repositories rot on disk. The collection stack declares *named
+// injection points* at exactly those seams; this registry decides, per
+// evaluation, whether the fault fires. Chaos tests (tests/chaos_test.cpp)
+// and operators arm points programmatically or through the environment:
+//
+//   BF_FAULTS="profiler.run_crash:0.05,profiler.counter_dropout:0.05"
+//   BF_FAULT_SEED=42
+//
+// Spec grammar: `<point>:<rate>[:<max_fires>]`, comma-separated. `rate`
+// is the Bernoulli fire probability in [0,1]; `max_fires` bounds how
+// often the point may fire (unlimited when omitted).
+//
+// Determinism: every point draws from its own RNG stream, seeded from
+// (global seed) ^ hash(point name), so the fire/no-fire sequence of one
+// point depends only on its own evaluation order — never on which other
+// points exist or how evaluations interleave. Same seed + same spec +
+// same call sequence => identical faults, bit for bit.
+//
+// Zero cost when off: an unarmed registry is a single relaxed atomic
+// load per evaluation, no RNG draws, no allocation — so fault-free runs
+// are bit-identical to a build without the registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bf::fault {
+
+/// Seed used until reseed() / BF_FAULT_SEED overrides it.
+inline constexpr std::uint64_t kDefaultSeed = 0xbf5eed5ull;
+
+/// Canonical injection-point names wired through the collection stack.
+namespace points {
+/// Profiler run aborts before the workload executes (driver crash).
+inline constexpr const char* kProfilerRunCrash = "profiler.run_crash";
+/// Profiler run completes but is discarded as timed out.
+inline constexpr const char* kProfilerRunTimeout = "profiler.run_timeout";
+/// One counter value is lost (nvprof multiplexing dropout) -> NaN.
+inline constexpr const char* kProfilerCounterDropout =
+    "profiler.counter_dropout";
+/// Measured time of a replicate spikes (background interference).
+inline constexpr const char* kProfilerNoiseSpike = "profiler.noise_spike";
+/// A repository entry is truncated on disk after the write (torn write).
+inline constexpr const char* kRepoTornWrite = "repo.torn_write";
+/// A repository entry has one byte flipped on disk (bit rot).
+inline constexpr const char* kRepoBitrot = "repo.bitrot";
+}  // namespace points
+
+struct PointStats {
+  std::uint64_t evaluated = 0;
+  std::uint64_t fired = 0;
+};
+
+/// True when at least one injection point is armed (fast path).
+bool active();
+
+/// Arm `point`: fire with probability `rate`; stop firing after
+/// `max_fires` fires when >= 0. Re-arming a point resets its stats and
+/// RNG stream.
+void arm(const std::string& point, double rate,
+         std::int64_t max_fires = -1);
+
+/// Parse a `<point>:<rate>[:<max_fires>],...` spec and arm every entry.
+/// Throws bf::Error on malformed specs.
+void configure(const std::string& spec);
+
+/// Arm from BF_FAULTS / BF_FAULT_SEED; no-op when BF_FAULTS is unset.
+/// Runs automatically (once) on the first should_fire() evaluation, so
+/// the environment works end-to-end without tool cooperation.
+void configure_from_env();
+
+/// Disarm every point and clear all stats; the seed is kept.
+void reset();
+
+/// Re-seed every per-point RNG stream (also clears armed points/stats,
+/// so arm ordering cannot leak state across experiments).
+void reseed(std::uint64_t seed);
+
+/// Evaluate an injection point: false when unarmed, otherwise a
+/// deterministic Bernoulli draw from the point's private stream.
+bool should_fire(std::string_view point);
+
+/// Evaluation/fire counters for one point (zeros when unknown).
+PointStats stats(std::string_view point);
+
+/// Every armed point with its stats, sorted by name.
+std::vector<std::pair<std::string, PointStats>> all_stats();
+
+/// One-line rendering of the armed points, e.g. for degradation reports.
+std::string summary();
+
+/// RAII guard for tests: arms a spec on construction, disarms on scope
+/// exit, so a failing test cannot leak faults into its neighbours.
+class ScopedFaults {
+ public:
+  ScopedFaults() { reset(); }
+  explicit ScopedFaults(const std::string& spec,
+                        std::uint64_t seed = kDefaultSeed) {
+    reseed(seed);
+    configure(spec);
+  }
+  ~ScopedFaults() { reset(); }
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+};
+
+}  // namespace bf::fault

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "profiling/repository.hpp"
 
 namespace bf::core {
@@ -10,16 +11,43 @@ AnalysisOutcome run_analysis(const PipelineConfig& config) {
 
   const gpusim::Device device(config.arch);
   AnalysisOutcome out;
+  bool collected = false;
+  const auto collect = [&] {
+    collected = true;
+    return profiling::sweep(config.workload, device, config.sizes,
+                            config.sweep, &out.sweep_report);
+  };
   if (config.repository_root) {
+    // Corrupt cached entries are quarantined inside load(), so a rotten
+    // repository degrades to a recollection instead of an abort.
     const profiling::RunRepository repo(*config.repository_root);
-    out.data = repo.get_or_collect(
-        config.workload.name, config.arch.name, [&] {
-          return profiling::sweep(config.workload, device, config.sizes,
-                                  config.sweep);
-        });
+    out.data = repo.get_or_collect(config.workload.name, config.arch.name,
+                                   collect);
+    if (!collected) {
+      out.warnings.push_back("sweep loaded from repository cache under " +
+                             *config.repository_root);
+    }
   } else {
-    out.data =
-        profiling::sweep(config.workload, device, config.sizes, config.sweep);
+    out.data = collect();
+  }
+  if (collected && out.sweep_report.degraded()) {
+    out.warnings.push_back("collection degraded: " +
+                           out.sweep_report.summary());
+  }
+
+  // Resolve dropped-counter holes so the forest/PCA/GLM stages see a
+  // fully-observed table; the response and the problem characteristic
+  // must never be invented, so rows missing them are dropped instead.
+  if (out.data.has_missing()) {
+    out.missing = out.data.resolve_missing(
+        config.degrade.min_column_coverage, config.degrade.min_row_coverage,
+        {profiling::kTimeColumn, profiling::kSizeColumn});
+    for (const auto& line : out.missing.to_lines()) {
+      out.warnings.push_back(line);
+    }
+  }
+  for (const auto& w : out.warnings) {
+    BF_WARN("pipeline: " << w);
   }
 
   out.model = BlackForestModel::fit(out.data, config.model);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/string_util.hpp"
 
 namespace bf::gpusim {
 
@@ -94,10 +95,13 @@ const std::vector<ArchSpec>& arch_registry() {
 }
 
 const ArchSpec& arch_by_name(const std::string& name) {
+  std::vector<std::string> known;
   for (const auto& a : arch_registry()) {
     if (a.name == name) return a;
+    known.push_back(a.name);
   }
-  BF_FAIL("unknown architecture: " << name);
+  BF_FAIL("unknown architecture: '" << name << "' (valid: "
+                                    << join(known, ", ") << ")");
 }
 
 std::vector<std::pair<std::string, double>> machine_characteristics(

@@ -3,11 +3,51 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 
 namespace bf::ml {
+
+double nan_median(std::vector<double> values) {
+  values.erase(std::remove_if(values.begin(), values.end(),
+                              [](double v) { return !std::isfinite(v); }),
+               values.end());
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  const double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(
+      values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+std::vector<std::string> MissingValueReport::to_lines() const {
+  std::vector<std::string> lines;
+  if (!dropped_columns.empty()) {
+    std::string cols;
+    for (const auto& c : dropped_columns) {
+      if (!cols.empty()) cols += ", ";
+      cols += c;
+    }
+    lines.push_back("dropped " + std::to_string(dropped_columns.size()) +
+                    " low-coverage column(s): " + cols);
+  }
+  if (!dropped_rows.empty()) {
+    lines.push_back("dropped " + std::to_string(dropped_rows.size()) +
+                    " row(s) with insufficient counter coverage");
+  }
+  if (imputed_cells > 0) {
+    lines.push_back("imputed " + std::to_string(imputed_cells) +
+                    " missing cell(s) with column medians across " +
+                    std::to_string(imputed_columns.size()) + " column(s)");
+  }
+  return lines;
+}
 
 void Dataset::add_column(std::string name, std::vector<double> values) {
   BF_CHECK_MSG(!has_column(name), "duplicate column: " << name);
@@ -102,8 +142,14 @@ std::vector<std::string> Dataset::drop_constant_columns(double tol) {
   std::vector<std::vector<double>> kept_cols;
   for (std::size_t c = 0; c < names_.size(); ++c) {
     const auto& col = columns_[c];
-    const auto [mn, mx] = std::minmax_element(col.begin(), col.end());
-    const double spread = (col.empty()) ? 0.0 : (*mx - *mn);
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    for (const double v : col) {
+      if (!std::isfinite(v)) continue;
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    const double spread = mx >= mn ? mx - mn : 0.0;
     if (spread <= tol) {
       dropped.push_back(names_[c]);
     } else {
@@ -114,6 +160,128 @@ std::vector<std::string> Dataset::drop_constant_columns(double tol) {
   names_ = std::move(kept_names);
   columns_ = std::move(kept_cols);
   return dropped;
+}
+
+bool Dataset::has_missing() const { return missing_count() > 0; }
+
+std::size_t Dataset::missing_count() const {
+  std::size_t n = 0;
+  for (const auto& col : columns_) {
+    for (const double v : col) n += std::isnan(v) ? 1u : 0u;
+  }
+  return n;
+}
+
+MissingValueReport Dataset::resolve_missing(
+    double min_column_coverage, double min_row_coverage,
+    const std::vector<std::string>& required) {
+  BF_CHECK_MSG(min_column_coverage >= 0.0 && min_column_coverage <= 1.0,
+               "min_column_coverage must be in [0,1]");
+  BF_CHECK_MSG(min_row_coverage >= 0.0 && min_row_coverage <= 1.0,
+               "min_row_coverage must be in [0,1]");
+  MissingValueReport report;
+  if (!has_missing()) return report;
+  const auto is_required = [&required](const std::string& name) {
+    return std::find(required.begin(), required.end(), name) !=
+           required.end();
+  };
+
+  // 1. Rows with a missing required cell (e.g. the response) go first:
+  //    they cannot be imputed without inventing ground truth.
+  const std::size_t n = num_rows();
+  std::vector<bool> keep_row(n, true);
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    if (!is_required(names_[c])) continue;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (std::isnan(columns_[c][r])) keep_row[r] = false;
+    }
+  }
+
+  // 2. Columns mostly made of holes carry too little signal to impute.
+  std::vector<bool> keep_col(names_.size(), true);
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    if (is_required(names_[c])) continue;
+    std::size_t finite = 0;
+    std::size_t total = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (!keep_row[r]) continue;
+      ++total;
+      if (!std::isnan(columns_[c][r])) ++finite;
+    }
+    const double coverage =
+        total == 0 ? 0.0
+                   : static_cast<double>(finite) / static_cast<double>(total);
+    if (coverage < min_column_coverage) {
+      keep_col[c] = false;
+      report.dropped_columns.push_back(names_[c]);
+    }
+  }
+
+  // 3. Rows mostly made of holes across the surviving columns.
+  std::size_t cols_kept = 0;
+  for (const bool k : keep_col) cols_kept += k ? 1u : 0u;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!keep_row[r] || cols_kept == 0) continue;
+    std::size_t finite = 0;
+    for (std::size_t c = 0; c < names_.size(); ++c) {
+      if (!keep_col[c]) continue;
+      if (!std::isnan(columns_[c][r])) ++finite;
+    }
+    const double coverage =
+        static_cast<double>(finite) / static_cast<double>(cols_kept);
+    if (coverage < min_row_coverage) keep_row[r] = false;
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!keep_row[r]) report.dropped_rows.push_back(r);
+  }
+
+  // Materialise the surviving table.
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> cols;
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    if (!keep_col[c]) continue;
+    std::vector<double> col;
+    col.reserve(n - report.dropped_rows.size());
+    for (std::size_t r = 0; r < n; ++r) {
+      if (keep_row[r]) col.push_back(columns_[c][r]);
+    }
+    names.push_back(names_[c]);
+    cols.push_back(std::move(col));
+  }
+  names_ = std::move(names);
+  columns_ = std::move(cols);
+
+  // 4. Median imputation for whatever holes remain. A column with no
+  //    finite value at all (possible when min_column_coverage == 0) has
+  //    nothing to impute from and is dropped instead.
+  std::vector<std::string> final_names;
+  std::vector<std::vector<double>> final_cols;
+  for (std::size_t c = 0; c < names_.size(); ++c) {
+    auto& col = columns_[c];
+    const bool any_nan = std::any_of(
+        col.begin(), col.end(), [](double v) { return std::isnan(v); });
+    if (any_nan) {
+      const double med = nan_median(col);
+      if (!std::isfinite(med)) {
+        report.dropped_columns.push_back(names_[c]);
+        continue;
+      }
+      std::size_t imputed = 0;
+      for (double& v : col) {
+        if (std::isnan(v)) {
+          v = med;
+          ++imputed;
+        }
+      }
+      report.imputed_cells += imputed;
+      report.imputed_columns.push_back(names_[c]);
+    }
+    final_names.push_back(std::move(names_[c]));
+    final_cols.push_back(std::move(col));
+  }
+  names_ = std::move(final_names);
+  columns_ = std::move(final_cols);
+  return report;
 }
 
 linalg::Matrix Dataset::to_matrix(

@@ -14,6 +14,25 @@
 
 namespace bf::ml {
 
+/// Median of the finite entries of `values` (NaN/inf cells are ignored,
+/// mirroring dropped counters); NaN when no finite entry exists.
+double nan_median(std::vector<double> values);
+
+/// What resolve_missing() did to a degraded dataset, for warnings and
+/// degradation reports.
+struct MissingValueReport {
+  std::vector<std::string> dropped_columns;  ///< coverage below threshold
+  std::vector<std::size_t> dropped_rows;     ///< original row indices
+  std::vector<std::string> imputed_columns;  ///< received median imputation
+  std::size_t imputed_cells = 0;
+  bool empty() const {
+    return dropped_columns.empty() && dropped_rows.empty() &&
+           imputed_cells == 0;
+  }
+  /// Human-readable warning lines (empty when nothing happened).
+  std::vector<std::string> to_lines() const;
+};
+
 class Dataset {
  public:
   Dataset() = default;
@@ -49,8 +68,28 @@ class Dataset {
 
   /// Drop columns whose values are (numerically) constant; returns the
   /// names that were removed. Constant counters carry no information for
-  /// the forest and break permutation importance.
+  /// the forest and break permutation importance. NaN cells are ignored
+  /// when measuring spread (an all-NaN column counts as constant).
   std::vector<std::string> drop_constant_columns(double tol = 1e-12);
+
+  /// True when any cell is NaN (a dropped counter / missing value).
+  bool has_missing() const;
+  /// Total NaN cells across the dataset.
+  std::size_t missing_count() const;
+
+  /// Resolve missing (NaN) cells in place so downstream model stages can
+  /// run on degraded collections instead of throwing:
+  ///   1. rows with a NaN in any `required` column are dropped (the
+  ///      response cannot be imputed),
+  ///   2. non-required columns with finite-value coverage below
+  ///      `min_column_coverage` are dropped,
+  ///   3. rows with remaining coverage below `min_row_coverage` are
+  ///      dropped,
+  ///   4. surviving NaN cells are imputed with the column median.
+  /// Returns what was dropped/imputed. No-op on fully-observed data.
+  MissingValueReport resolve_missing(
+      double min_column_coverage = 0.5, double min_row_coverage = 0.5,
+      const std::vector<std::string>& required = {});
 
   /// Row-major design matrix over the named feature columns.
   linalg::Matrix to_matrix(const std::vector<std::string>& features) const;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "check/check.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "gpusim/power.hpp"
 #include "profiling/counter_registry.hpp"
 
@@ -114,8 +116,20 @@ ProfileResult Profiler::profile(const Workload& workload,
                                 double problem_size) {
   BF_CHECK_MSG(static_cast<bool>(workload.run),
                "workload '" << workload.name << "' has no run function");
+  // Injected driver crash: the run aborts before the workload executes
+  // (see bf::fault; unarmed points cost one atomic load).
+  if (fault::should_fire(fault::points::kProfilerRunCrash)) {
+    throw Error("injected fault: profiler run of '" + workload.name +
+                "' crashed");
+  }
   const gpusim::AggregateResult agg =
       workload.run(device, problem_size);
+  // Injected timeout: the run completed but took too long; its data is
+  // discarded exactly as a watchdog kill would.
+  if (fault::should_fire(fault::points::kProfilerRunTimeout)) {
+    throw Error("injected fault: profiler run of '" + workload.name +
+                "' timed out");
+  }
   BF_CHECK_MSG(agg.time_ms > 0.0,
                "workload '" << workload.name << "' reported zero time");
 
@@ -144,6 +158,22 @@ ProfileResult Profiler::profile(const Workload& workload,
     if (it != out.counters.end()) it->second = std::min(it->second, 1.0);
   }
   out.time_ms = jitter(agg.time_ms, options_.time_noise_sd);
+
+  // Injected counter dropout: nvprof-style multiplexing loses individual
+  // events; the counter stays in the schema but its value is NaN.
+  if (fault::active()) {
+    for (auto& [name, value] : out.counters) {
+      (void)name;
+      if (fault::should_fire(fault::points::kProfilerCounterDropout)) {
+        value = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+    // Injected noise spike: background interference inflates this
+    // replicate's measured time (median aggregation should reject it).
+    if (fault::should_fire(fault::points::kProfilerNoiseSpike)) {
+      out.time_ms *= 4.0;
+    }
+  }
 
   if (options_.validate) {
     auto metrics = out.counters;

@@ -2,6 +2,13 @@
 // database or a structured repository (we used the latter)". Sweeps are
 // stored as CSV files under a root directory, keyed by workload and
 // architecture, so expensive collections can be reused across analyses.
+//
+// Stored entries are written atomically (temp file + rename, see
+// bf::atomic_write_file) and carry a FNV-1a checksum footer. A corrupt
+// entry — truncated, bit-rotted, garbage, or missing its footer — is
+// quarantined on load (renamed to "<entry>.quarantined") and reported as
+// absent, so get_or_collect() transparently recollects instead of
+// aborting the analysis.
 #pragma once
 
 #include <optional>
@@ -21,6 +28,16 @@ struct RepositoryOptions {
   /// from it, so this is on by default.
   bool validate_on_load = true;
   check::Options check_options = check::measured_tolerance();
+  /// Quarantine corrupt files (bad checksum, truncated, unparseable)
+  /// instead of throwing: the entry is renamed to "<entry>.quarantined"
+  /// and load() returns nullopt so the sweep is recollected. When false,
+  /// corruption throws bf::Error (strict mode).
+  bool quarantine_on_corrupt = true;
+  /// Extend quarantine semantics to counter-invariant violations too
+  /// (validate_on_load failures). Off by default: invariant-breaking
+  /// data is semantically wrong rather than damaged, and deserves a loud
+  /// failure unless the caller opted into degraded operation.
+  bool quarantine_on_invalid = false;
 };
 
 class RunRepository {
@@ -28,20 +45,24 @@ class RunRepository {
   /// Creates `root` if it does not exist.
   explicit RunRepository(std::string root, RepositoryOptions options = {});
 
-  /// Store a sweep dataset under (workload, arch); overwrites.
+  /// Store a sweep dataset under (workload, arch); overwrites. The write
+  /// is atomic and checksummed.
   void save(const std::string& workload, const std::string& arch,
             const ml::Dataset& ds) const;
 
-  /// Load a stored sweep; std::nullopt when absent.
+  /// Load a stored sweep; std::nullopt when absent or quarantined.
   std::optional<ml::Dataset> load(const std::string& workload,
                                   const std::string& arch) const;
 
   bool contains(const std::string& workload, const std::string& arch) const;
 
-  /// All (workload, arch) keys present, sorted.
+  /// All (workload, arch) keys present, sorted. Quarantined entries are
+  /// excluded.
   std::vector<std::pair<std::string, std::string>> keys() const;
 
-  /// Load if present, else compute via `producer`, save, and return.
+  /// Load if present, else compute via `producer`, save, and return. A
+  /// throwing producer leaves no trace in the repository (saves are
+  /// atomic), and a corrupt cached entry is quarantined and recollected.
   template <typename Producer>
   ml::Dataset get_or_collect(const std::string& workload,
                              const std::string& arch,
@@ -57,6 +78,10 @@ class RunRepository {
  private:
   std::string path_for(const std::string& workload,
                        const std::string& arch) const;
+  /// Move a damaged entry aside and report; returns nullopt (the load
+  /// result) or rethrows in strict mode.
+  std::optional<ml::Dataset> handle_corrupt(const std::string& path,
+                                            const std::string& reason) const;
 
   std::string root_;
   RepositoryOptions options_;

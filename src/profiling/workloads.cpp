@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "common/string_util.hpp"
 #include "kernels/matmul.hpp"
 #include "kernels/misc.hpp"
 #include "kernels/nw.hpp"
@@ -152,10 +153,13 @@ std::vector<Workload> all_workloads() {
 }
 
 Workload workload_by_name(const std::string& name) {
+  std::vector<std::string> known;
   for (auto& w : all_workloads()) {
     if (w.name == name) return w;
+    known.push_back(w.name);
   }
-  BF_FAIL("unknown workload: " << name);
+  BF_FAIL("unknown workload: '" << name << "' (valid: " << join(known, ", ")
+                                << ")");
 }
 
 }  // namespace bf::profiling

@@ -129,4 +129,15 @@ std::string cell(double v, int precision) {
   return format_double(v, precision);
 }
 
+std::string warn_list(const std::string& title,
+                      const std::vector<std::string>& lines) {
+  if (lines.empty()) return "";
+  std::ostringstream os;
+  os << title << "\n";
+  for (const auto& line : lines) {
+    os << "  ! " << line << "\n";
+  }
+  return os.str();
+}
+
 }  // namespace bf::report

@@ -31,6 +31,12 @@ std::string xy_plot(const std::string& title,
 std::string table(const std::vector<std::string>& header,
                   const std::vector<std::vector<std::string>>& rows);
 
+/// Bulleted warning block ("  ! line") under a title; empty string when
+/// there are no lines. Used for degradation/robustness warnings so they
+/// render consistently across tools and benches.
+std::string warn_list(const std::string& title,
+                      const std::vector<std::string>& lines);
+
 /// Format helper: fixed-width double rendering for table cells.
 std::string cell(double v, int precision = 3);
 

@@ -33,23 +33,134 @@ class TempDir : public ::testing::Test {
 };
 
 // ---- repository failure injection ----
+//
+// Corruption never aborts an analysis: the damaged entry is quarantined
+// (renamed to .quarantined) and load() reports it absent, so
+// get_or_collect() recollects. Strict mode (quarantine_on_corrupt=false)
+// restores throw-on-corrupt for callers that want the loud failure.
 
 using RepositoryRobustness = TempDir;
 
-TEST_F(RepositoryRobustness, CorruptCsvRejectedOnLoad) {
-  const profiling::RunRepository repo(dir_.string());
-  // Plant a malformed file where a sweep would live.
-  std::ofstream((dir_ / "needle__gtx580.csv"))
-      << "size,time_ms\n1024,not_a_number\n";
-  EXPECT_TRUE(repo.contains("needle", "gtx580"));
-  EXPECT_THROW(repo.load("needle", "gtx580"), Error);
+namespace {
+
+/// Plant raw bytes where a sweep entry would live.
+void plant(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream(path, std::ios::binary) << bytes;
 }
 
-TEST_F(RepositoryRobustness, RaggedCsvRejectedOnLoad) {
+/// Assert the entry was quarantined and that get_or_collect recollects.
+void expect_quarantine_and_recollect(
+    const profiling::RunRepository& repo,
+    const std::filesystem::path& entry) {
+  EXPECT_FALSE(repo.load("needle", "gtx580").has_value());
+  EXPECT_FALSE(std::filesystem::exists(entry));
+  const std::filesystem::path quarantined =
+      entry.string() + ".quarantined";
+  EXPECT_TRUE(std::filesystem::exists(quarantined));
+
+  int produced = 0;
+  ml::Dataset fresh;
+  fresh.add_column("size", {64, 128});
+  fresh.add_column("time_ms", {1.5, 2.5});
+  const auto got = repo.get_or_collect("needle", "gtx580", [&] {
+    ++produced;
+    return fresh;
+  });
+  EXPECT_EQ(produced, 1);
+  EXPECT_EQ(got.num_rows(), 2u);
+  // The recollected entry is valid and served from disk next time.
+  EXPECT_EQ(repo.load("needle", "gtx580")->num_rows(), 2u);
+}
+
+}  // namespace
+
+TEST_F(RepositoryRobustness, CorruptCellQuarantinedAndRecollected) {
   const profiling::RunRepository repo(dir_.string());
-  std::ofstream((dir_ / "needle__gtx580.csv"))
-      << "size,time_ms\n1024\n";
+  const auto entry = dir_ / "needle__gtx580.csv";
+  plant(entry, "size,time_ms\n1024,not_a_number\n");
+  EXPECT_TRUE(repo.contains("needle", "gtx580"));
+  expect_quarantine_and_recollect(repo, entry);
+}
+
+TEST_F(RepositoryRobustness, GarbageHeaderQuarantinedAndRecollected) {
+  const profiling::RunRepository repo(dir_.string());
+  const auto entry = dir_ / "needle__gtx580.csv";
+  plant(entry, "\x7f\x45\x4c\x46 this is not a csv at all\n\x01\x02");
+  expect_quarantine_and_recollect(repo, entry);
+}
+
+TEST_F(RepositoryRobustness, EmptyFileQuarantinedAndRecollected) {
+  const profiling::RunRepository repo(dir_.string());
+  const auto entry = dir_ / "needle__gtx580.csv";
+  plant(entry, "");
+  EXPECT_TRUE(repo.contains("needle", "gtx580"));
+  expect_quarantine_and_recollect(repo, entry);
+}
+
+TEST_F(RepositoryRobustness, TruncatedEntryQuarantinedAndRecollected) {
+  const profiling::RunRepository repo(dir_.string());
+  ml::Dataset ds;
+  ds.add_column("size", {64, 128, 256});
+  ds.add_column("time_ms", {1, 2, 3});
+  repo.save("needle", "gtx580", ds);
+  ASSERT_TRUE(repo.load("needle", "gtx580").has_value());
+
+  // Torn write / partial flush: only half the bytes survived.
+  const auto entry = dir_ / "needle__gtx580.csv";
+  const auto size = std::filesystem::file_size(entry);
+  std::filesystem::resize_file(entry, size / 2);
+  expect_quarantine_and_recollect(repo, entry);
+}
+
+TEST_F(RepositoryRobustness, BadChecksumQuarantinedAndRecollected) {
+  const profiling::RunRepository repo(dir_.string());
+  ml::Dataset ds;
+  ds.add_column("size", {64, 128});
+  ds.add_column("time_ms", {1, 2});
+  repo.save("needle", "gtx580", ds);
+
+  // Bit rot: flip one payload byte; the footer no longer matches.
+  const auto entry = dir_ / "needle__gtx580.csv";
+  std::fstream f(entry, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(18);
+  f.put('7');
+  f.close();
+  expect_quarantine_and_recollect(repo, entry);
+}
+
+TEST_F(RepositoryRobustness, StrictModeStillThrowsOnCorruption) {
+  profiling::RepositoryOptions strict;
+  strict.quarantine_on_corrupt = false;
+  const profiling::RunRepository repo(dir_.string(), strict);
+  const auto entry = dir_ / "needle__gtx580.csv";
+  plant(entry, "size,time_ms\n1024,not_a_number\n");
   EXPECT_THROW(repo.load("needle", "gtx580"), Error);
+  EXPECT_TRUE(std::filesystem::exists(entry));  // nothing moved
+}
+
+TEST_F(RepositoryRobustness, QuarantinedEntriesExcludedFromKeys) {
+  const profiling::RunRepository repo(dir_.string());
+  ml::Dataset ds;
+  ds.add_column("size", {64});
+  ds.add_column("time_ms", {1});
+  repo.save("needle", "gtx580", ds);
+  plant(dir_ / "reduce1__gtx580.csv", "garbage");
+  EXPECT_FALSE(repo.load("reduce1", "gtx580").has_value());  // quarantines
+  const auto keys = repo.keys();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].first, "needle");
+}
+
+TEST_F(RepositoryRobustness, FailedProducerLeavesNoEntryBehind) {
+  const profiling::RunRepository repo(dir_.string());
+  EXPECT_THROW(repo.get_or_collect("needle", "gtx580",
+                                   []() -> ml::Dataset {
+                                     throw Error("producer exploded");
+                                   }),
+               Error);
+  EXPECT_FALSE(repo.contains("needle", "gtx580"));
+  // No temp-file debris either: the directory is untouched.
+  EXPECT_TRUE(std::filesystem::is_empty(dir_));
 }
 
 TEST_F(RepositoryRobustness, KeySanitisation) {

@@ -16,6 +16,7 @@
 
 #include "check/check.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/string_util.hpp"
 #include "core/pipeline.hpp"
 #include "core/predictor.hpp"
@@ -39,6 +40,13 @@ void usage() {
       "  --predict N       predict an unseen size (repeatable)\n"
       "  --repo DIR        cache sweeps in DIR\n"
       "  --trees N         forest size (default 500)\n"
+      "  --replicates K    profiled runs aggregated per size (default 1)\n"
+      "  --retries N       attempts per run before it fails (default 3)\n"
+      "  --min-success F   fraction of sizes that must collect before\n"
+      "                    the sweep aborts (default 0.5)\n"
+      "  --faults SPEC     arm fault injection: <point>:<rate>[:<count>]\n"
+      "                    comma-list (also via BF_FAULTS in the env)\n"
+      "  --fault-seed N    deterministic fault stream seed\n"
       "  --check           validate counter invariants instead of\n"
       "                    modelling: sweeps the workload (or, with\n"
       "                    --repo, every stored sweep) and reports rule\n"
@@ -53,6 +61,11 @@ struct Args {
   double max_size = 0;
   int runs = 40;
   int trees = 500;
+  int replicates = 1;
+  int retries = 3;
+  double min_success = 0.5;
+  std::string faults;
+  std::uint64_t fault_seed = bf::fault::kDefaultSeed;
   std::vector<double> predict;
   std::string repo;
   bool list = false;
@@ -79,6 +92,16 @@ Args parse(int argc, char** argv) {
       args.runs = static_cast<int>(parse_int(next()));
     } else if (a == "--trees") {
       args.trees = static_cast<int>(parse_int(next()));
+    } else if (a == "--replicates") {
+      args.replicates = static_cast<int>(parse_int(next()));
+    } else if (a == "--retries") {
+      args.retries = static_cast<int>(parse_int(next()));
+    } else if (a == "--min-success") {
+      args.min_success = parse_double(next());
+    } else if (a == "--faults") {
+      args.faults = next();
+    } else if (a == "--fault-seed") {
+      args.fault_seed = static_cast<std::uint64_t>(parse_int(next()));
     } else if (a == "--predict") {
       args.predict.push_back(parse_double(next()));
     } else if (a == "--repo") {
@@ -175,6 +198,14 @@ std::size_t run_check_mode(const Args& args, double lo, double hi,
 int main(int argc, char** argv) {
   try {
     const Args args = parse(argc, argv);
+    // Arm fault injection early so a malformed spec fails with a clear
+    // diagnostic instead of surfacing from deep inside the sweep.
+    if (!args.faults.empty()) {
+      bf::fault::reseed(args.fault_seed);
+      bf::fault::configure(args.faults);
+    } else {
+      bf::fault::configure_from_env();
+    }
     if (args.list) {
       std::printf("workloads:\n");
       for (const auto& w : profiling::all_workloads()) {
@@ -209,12 +240,26 @@ int main(int argc, char** argv) {
     config.arch = gpusim::arch_by_name(args.arch);
     config.sizes = profiling::log2_sizes(lo, hi, args.runs, multiple);
     config.model.forest.n_trees = static_cast<std::size_t>(args.trees);
+    config.sweep.replicates = args.replicates;
+    config.sweep.max_attempts = args.retries;
+    config.sweep.min_success_fraction = args.min_success;
     if (!args.repo.empty()) config.repository_root = args.repo;
 
     std::printf("analysing %s on %s (%zu runs, sizes %g..%g)\n\n",
                 args.workload.c_str(), args.arch.c_str(),
                 config.sizes.size(), lo, hi);
     const auto outcome = core::run_analysis(config);
+
+    if (!outcome.warnings.empty()) {
+      std::printf("%s\n",
+                  report::warn_list("degradation warnings",
+                                    outcome.warnings)
+                      .c_str());
+    }
+    if (outcome.sweep_report.degraded()) {
+      std::printf("%s%s\n", outcome.sweep_report.to_text().c_str(),
+                  bf::fault::summary().c_str());
+    }
 
     std::vector<std::pair<std::string, double>> bars;
     const auto imp = outcome.model.importance();
@@ -240,6 +285,11 @@ int main(int argc, char** argv) {
     return 0;
   } catch (const bf::Error& e) {
     std::fprintf(stderr, "bf_analyze: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // Nothing below main should leak a non-bf exception, but a CLI tool
+    // must still exit with a diagnostic rather than std::terminate.
+    std::fprintf(stderr, "bf_analyze: unexpected error: %s\n", e.what());
     return 1;
   }
 }

@@ -12,6 +12,9 @@
 //   float-literal   float literals (1.0f) in double-precision stat code
 //   unchecked-parse atof/atoi/stod/... which swallow trailing garbage;
 //                   use bf::parse_double / bf::parse_int / CsvTable
+//   atomic-write    direct std::ofstream use inside the profiling /
+//                   repository layer, which can leave torn entries on
+//                   crash; persist through bf::atomic_write_file
 //
 // Comments and string/char literals are stripped before matching, so
 // prose and format strings never trip a rule. A finding on a line
@@ -207,6 +210,13 @@ void scan_file(const fs::path& path, std::vector<Finding>& findings) {
     report(1, "pragma-once", "header is missing #pragma once");
   }
 
+  // The run repository must never be written through a bare ofstream: a
+  // crash mid-write leaves a torn entry behind. Everything under the
+  // profiling layer goes through bf::atomic_write_file instead.
+  const bool repository_layer =
+      path.generic_string().find("/profiling/") != std::string::npos ||
+      path.filename().string().find("repository") != std::string::npos;
+
   const std::vector<Token> tokens = tokenize(stripped);
   for (std::size_t i = 0; i < tokens.size(); ++i) {
     const Token& t = tokens[i];
@@ -235,6 +245,10 @@ void scan_file(const fs::path& path, std::vector<Finding>& findings) {
              "'" + t.text +
                  "' swallows trailing garbage (use bf::parse_double / "
                  "bf::parse_int / CsvTable)");
+    } else if (repository_layer && t.text == "ofstream") {
+      report(t.line, "atomic-write",
+             "direct ofstream write in the repository layer can tear "
+             "entries on crash (use bf::atomic_write_file)");
     }
   }
 }
