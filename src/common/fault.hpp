@@ -51,6 +51,12 @@ inline constexpr const char* kProfilerNoiseSpike = "profiler.noise_spike";
 inline constexpr const char* kRepoTornWrite = "repo.torn_write";
 /// A repository entry has one byte flipped on disk (bit rot).
 inline constexpr const char* kRepoBitrot = "repo.bitrot";
+/// One feature of a forest query becomes NaN before the trees see it
+/// (corrupt generated feature); the forest's repair path must absorb it.
+inline constexpr const char* kForestNanFeature = "ml.forest.nan_feature";
+/// A counter-model prediction diverges (x1e6) before sanity checks —
+/// the guard layer's fallback chain must catch and demote it.
+inline constexpr const char* kCounterModelDiverge = "ml.counter_model.diverge";
 }  // namespace points
 
 struct PointStats {

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
+#include "ml/cv.hpp"
 #include "ml/metrics.hpp"
 
 namespace bf::core {
@@ -34,7 +37,74 @@ bool wants_log_response(const std::vector<double>& y) {
   return hi / lo > 100.0;
 }
 
+/// Power law through the two largest distinct training sizes; degrades to
+/// a linear segment (or a constant) when the anchors cannot support one.
+struct PowerLaw {
+  bool is_linear = false;
+  double scale = 0.0;
+  double exponent = 0.0;
+  double x0 = 0.0;
+  double y0 = 0.0;
+
+  double predict(double s) const {
+    if (is_linear) return y0 + scale * (s - x0);
+    return scale * std::pow(std::max(s, 0.0), exponent);
+  }
+};
+
+PowerLaw fit_power_law(const std::vector<double>& xs,
+                       const std::vector<double>& ys) {
+  PowerLaw pl;
+  pl.is_linear = true;
+  if (xs.empty()) return pl;
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  const std::size_t i1 = order.back();
+  std::size_t i0 = i1;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (xs[*it] < xs[i1]) {
+      i0 = *it;
+      break;
+    }
+  }
+  if (i0 == i1) {  // single distinct size: constant model
+    pl.x0 = xs[i1];
+    pl.y0 = ys[i1];
+    return pl;
+  }
+  const double xa = xs[i0], ya = ys[i0];
+  const double xb = xs[i1], yb = ys[i1];
+  if (xa > 0.0 && xb > 0.0 && ya > 0.0 && yb > 0.0) {
+    pl.is_linear = false;
+    pl.exponent = std::log(yb / ya) / std::log(xb / xa);
+    pl.scale = yb / std::pow(xb, pl.exponent);
+  } else {
+    pl.scale = (yb - ya) / (xb - xa);
+    pl.x0 = xb;
+    pl.y0 = yb;
+  }
+  return pl;
+}
+
 }  // namespace
+
+const char* counter_model_name(CounterModelKind kind) {
+  switch (kind) {
+    case CounterModelKind::kGlm:
+      return "glm";
+    case CounterModelKind::kMars:
+      return "mars";
+    case CounterModelKind::kAuto:
+      return "auto";
+    case CounterModelKind::kLogLinear:
+      return "loglin";
+    case CounterModelKind::kPowerLaw:
+      return "powerlaw";
+  }
+  return "?";
+}
 
 CounterModels CounterModels::fit(const ml::Dataset& ds,
                                  const std::vector<std::string>& counters,
@@ -59,6 +129,11 @@ CounterModels CounterModels::fit(const ml::Dataset& ds,
     Entry entry;
     entry.counter = counter;
     entry.log_response = options.auto_log_response && wants_log_response(y_raw);
+    // Real GPU counters (counts/ratios/throughputs) are never negative in
+    // training, so their predictions are clamped at the exit point. A
+    // synthetic counter that genuinely crosses zero keeps its sign.
+    entry.clamp_negative = std::all_of(y_raw.begin(), y_raw.end(),
+                                       [](double v) { return v >= 0.0; });
     std::vector<double> y = y_raw;
     if (entry.log_response) {
       for (double& v : y) v = std::log2(v);
@@ -78,11 +153,9 @@ CounterModels CounterModels::fit(const ml::Dataset& ds,
     const auto score = [&](CounterModelKind kind) {
       std::vector<double> pred(y_raw.size());
       for (std::size_t i = 0; i < y_raw.size(); ++i) {
-        Entry probe = entry;  // cheap: models are small
-        probe.kind = kind;
         std::vector<double> row(raw_x.cols());
         for (std::size_t j = 0; j < raw_x.cols(); ++j) row[j] = raw_x(i, j);
-        pred[i] = out.predict_entry(probe, row);
+        pred[i] = out.predict_entry_kind(entry, kind, row, nullptr);
       }
       double rss = 0.0;
       for (std::size_t i = 0; i < y_raw.size(); ++i) {
@@ -113,26 +186,196 @@ CounterModels CounterModels::fit(const ml::Dataset& ds,
     for (const double v : y_raw) tss += (v - ybar) * (v - ybar);
     info.r2 = tss > 0.0 ? 1.0 - info.residual_deviance / tss : 0.0;
 
+    entry.chain = {entry.kind};
+    if (options.fit_fallback_chain) {
+      // Fit the safe extrapolators. The log-log linear model is a
+      // degree-1 GLM on the same (log) basis; the power law anchors on
+      // the last two training points of the first input.
+      ml::GlmParams lp = options.glm;
+      lp.degree = 1;
+      lp.link = ml::LinkFunction::kIdentity;
+      if (options.log_inputs) lp.log_terms = false;
+      entry.loglin.fit(x, y, lp);
+
+      std::vector<double> first_input(y_raw.size());
+      for (std::size_t i = 0; i < y_raw.size(); ++i) {
+        first_input[i] = raw_x(i, 0);
+      }
+      const PowerLaw pl = fit_power_law(first_input, y_raw);
+      entry.pl_is_linear = pl.is_linear;
+      entry.pl_scale = pl.scale;
+      entry.pl_exp = pl.exponent;
+      entry.pl_x0 = pl.x0;
+      entry.pl_y0 = pl.y0;
+      entry.has_fallbacks = true;
+
+      // Rank the demotion order by k-fold CV error on the raw counter
+      // scale. Note the *primary* stays the legacy RSS choice above so
+      // the untripped path is bit-identical; CV only orders fallbacks.
+      std::vector<std::string> cols = options.inputs;
+      cols.push_back(counter);
+      const ml::Dataset sub = ds.select_columns(cols);
+      const bool log_resp = entry.log_response;
+      const auto cv_for = [&](CounterModelKind kind) {
+        return ml::cv_rmse(
+            sub, counter, options.cv_folds, options.cv_seed,
+            [&, kind](const ml::Dataset& train, const ml::Dataset& test) {
+              const linalg::Matrix train_raw = train.to_matrix(options.inputs);
+              const linalg::Matrix test_raw = test.to_matrix(options.inputs);
+              std::vector<double> ty = train.column(counter);
+              std::vector<double> pred(test.num_rows());
+              if (kind == CounterModelKind::kPowerLaw) {
+                std::vector<double> txs(train.num_rows());
+                for (std::size_t i = 0; i < txs.size(); ++i) {
+                  txs[i] = train_raw(i, 0);
+                }
+                const PowerLaw fold_pl = fit_power_law(txs, ty);
+                for (std::size_t i = 0; i < pred.size(); ++i) {
+                  pred[i] = fold_pl.predict(test_raw(i, 0));
+                }
+                return pred;
+              }
+              const linalg::Matrix tx =
+                  transform_inputs(train_raw, options.log_inputs);
+              const linalg::Matrix qx =
+                  transform_inputs(test_raw, options.log_inputs);
+              if (log_resp) {
+                for (double& v : ty) v = std::log2(v);
+              }
+              if (kind == CounterModelKind::kMars) {
+                ml::Mars m;
+                m.fit(tx, ty, options.mars);
+                for (std::size_t i = 0; i < pred.size(); ++i) {
+                  std::vector<double> row(qx.cols());
+                  for (std::size_t j = 0; j < qx.cols(); ++j) row[j] = qx(i, j);
+                  pred[i] = m.predict_row(  // bf-lint: allow(guarded-predict)
+                      row.data(), row.size());
+                }
+              } else {
+                ml::GlmParams gp = options.glm;
+                if (options.log_inputs) gp.log_terms = false;
+                if (kind == CounterModelKind::kLogLinear) {
+                  gp.degree = 1;
+                  gp.link = ml::LinkFunction::kIdentity;
+                }
+                ml::Glm g;
+                g.fit(tx, ty, gp);
+                for (std::size_t i = 0; i < pred.size(); ++i) {
+                  std::vector<double> row(qx.cols());
+                  for (std::size_t j = 0; j < qx.cols(); ++j) row[j] = qx(i, j);
+                  pred[i] = g.predict_row(  // bf-lint: allow(guarded-predict)
+                      row.data(), row.size());
+                }
+              }
+              if (log_resp) {
+                for (double& v : pred) {
+                  v = std::exp2(std::clamp(v, -60.0, 60.0));
+                }
+              }
+              return pred;
+            });
+      };
+
+      struct Cand {
+        CounterModelKind kind;
+        double rmse;
+      };
+      std::vector<Cand> cands;
+      if (want_glm) cands.push_back({CounterModelKind::kGlm, 0.0});
+      if (want_mars) cands.push_back({CounterModelKind::kMars, 0.0});
+      cands.push_back({CounterModelKind::kLogLinear, 0.0});
+      cands.push_back({CounterModelKind::kPowerLaw, 0.0});
+      for (auto& c : cands) c.rmse = cv_for(c.kind);
+      for (const auto& c : cands) {
+        if (c.kind == entry.kind) info.cv_rmse = c.rmse;
+      }
+      std::stable_sort(cands.begin(), cands.end(),
+                       [](const Cand& a, const Cand& b) {
+                         return a.rmse < b.rmse;
+                       });
+      for (const auto& c : cands) {
+        if (c.kind != entry.kind) entry.chain.push_back(c.kind);
+      }
+    }
+    info.chain = entry.chain;
+
     out.entries_.push_back(std::move(entry));
-    out.info_.push_back(info);
+    out.info_.push_back(std::move(info));
   }
   return out;
 }
 
 double CounterModels::predict_entry(const Entry& entry,
                                     const std::vector<double>& inputs) const {
-  std::vector<double> t = inputs;
-  if (log_inputs_) {
-    for (double& v : t) v = log_input(v);
-  }
+  return predict_entry_kind(entry, entry.kind, inputs, nullptr);
+}
+
+double CounterModels::predict_entry_kind(const Entry& entry,
+                                         CounterModelKind kind,
+                                         const std::vector<double>& inputs,
+                                         bool* negative_clamped) const {
   double v;
-  if (entry.kind == CounterModelKind::kGlm) {
-    v = entry.glm.predict_row(t.data(), t.size());
+  if (kind == CounterModelKind::kPowerLaw) {
+    BF_CHECK_MSG(entry.has_fallbacks,
+                 "power-law fallback was not fit for " << entry.counter);
+    PowerLaw pl;
+    pl.is_linear = entry.pl_is_linear;
+    pl.scale = entry.pl_scale;
+    pl.exponent = entry.pl_exp;
+    pl.x0 = entry.pl_x0;
+    pl.y0 = entry.pl_y0;
+    v = pl.predict(inputs.empty() ? 0.0 : inputs[0]);
   } else {
-    v = entry.mars.predict_row(t.data(), t.size());
+    std::vector<double> t = inputs;
+    if (log_inputs_) {
+      for (double& u : t) u = log_input(u);
+    }
+    if (kind == CounterModelKind::kMars) {
+      v = entry.mars.predict_row(t.data(), t.size());  // bf-lint: allow(guarded-predict)
+    } else if (kind == CounterModelKind::kLogLinear) {
+      BF_CHECK_MSG(entry.has_fallbacks,
+                   "log-linear fallback was not fit for " << entry.counter);
+      v = entry.loglin.predict_row(t.data(), t.size());  // bf-lint: allow(guarded-predict)
+    } else {
+      v = entry.glm.predict_row(t.data(), t.size());  // bf-lint: allow(guarded-predict)
+    }
+    if (entry.log_response) v = std::exp2(std::clamp(v, -60.0, 60.0));
   }
-  if (entry.log_response) v = std::exp2(std::clamp(v, -60.0, 60.0));
+  if (fault::should_fire(fault::points::kCounterModelDiverge)) {
+    // Simulated runaway extrapolation: the guard's sanity envelope must
+    // catch this and demote down the chain.
+    v *= 1e6;
+  }
+  // Single exit point: a counter that was non-negative in training is a
+  // count/ratio/throughput and can never go negative, whatever model
+  // produced it.
+  if (entry.clamp_negative && v < 0.0) {
+    if (negative_clamped != nullptr) *negative_clamped = true;
+    v = 0.0;
+  } else if (negative_clamped != nullptr) {
+    *negative_clamped = false;
+  }
   return v;
+}
+
+double CounterModels::predict_kind(std::size_t entry, CounterModelKind kind,
+                                   const std::vector<double>& inputs,
+                                   bool* negative_clamped) const {
+  BF_CHECK_MSG(entry < entries_.size(), "counter model index out of range");
+  BF_CHECK_MSG(inputs.size() == inputs_.size(),
+               "expected " << inputs_.size() << " input values");
+  return predict_entry_kind(entries_[entry], kind, inputs, negative_clamped);
+}
+
+const std::string& CounterModels::entry_counter(std::size_t entry) const {
+  BF_CHECK_MSG(entry < entries_.size(), "counter model index out of range");
+  return entries_[entry].counter;
+}
+
+const std::vector<CounterModelKind>& CounterModels::entry_chain(
+    std::size_t entry) const {
+  BF_CHECK_MSG(entry < entries_.size(), "counter model index out of range");
+  return entries_[entry].chain;
 }
 
 std::vector<std::pair<std::string, double>> CounterModels::predict(

@@ -6,7 +6,13 @@
 // execution time will be predicted by the random forest").
 //
 // Trivial counters get generalised linear models; gnarlier ones get MARS,
-// matching the paper's use of glm for MM and earth for NW.
+// matching the paper's use of glm for MM and earth for NW. With
+// fit_fallback_chain enabled each counter additionally carries simpler
+// fallback models (log-log linear, power-law through the last two
+// points), ranked by k-fold CV error; the guard layer demotes along the
+// chain at predict time when the chosen model's output violates sanity
+// bounds. Every prediction leaves through one clamped exit point, so no
+// model can feed a negative counter value to the forest.
 #pragma once
 
 #include <string>
@@ -24,7 +30,16 @@ enum class CounterModelKind {
   /// Fit both, keep whichever has the better training R^2 (with a small
   /// parsimony bonus for the GLM).
   kAuto,
+  /// Degree-1 GLM on the (log) basis — the classic log-log linear fit
+  /// that extrapolates power laws safely.
+  kLogLinear,
+  /// Power law c * size^e through the last two training points; immune
+  /// to hinge explosion, the terminal fallback of every chain.
+  kPowerLaw,
 };
+
+/// Short stable name ("glm", "mars", "loglin", "powerlaw") for reports.
+const char* counter_model_name(CounterModelKind kind);
 
 struct CounterModelOptions {
   CounterModelKind kind = CounterModelKind::kAuto;
@@ -38,6 +53,13 @@ struct CounterModelOptions {
   /// more than two decades; predictions are mapped back with exp2. This
   /// keeps wide-range count counters positive and accurate.
   bool auto_log_response = true;
+  /// Also fit the fallback models (log-log linear, power-law) and rank
+  /// the demotion order by k-fold CV error. The *primary* selection is
+  /// unchanged (the legacy RSS rule), so predictions stay bit-identical
+  /// until a guard actually demotes.
+  bool fit_fallback_chain = false;
+  std::size_t cv_folds = 5;
+  std::uint64_t cv_seed = 17;
   ml::GlmParams glm;
   ml::MarsParams mars;
 };
@@ -48,6 +70,10 @@ struct CounterModelInfo {
   CounterModelKind chosen = CounterModelKind::kGlm;
   double r2 = 0.0;
   double residual_deviance = 0.0;  ///< GLM-style RSS on the response scale
+  /// K-fold CV RMSE of the chosen model (0 when the chain was not fit).
+  double cv_rmse = 0.0;
+  /// Demotion order, chosen model first (single entry without a chain).
+  std::vector<CounterModelKind> chain;
 };
 
 class CounterModels {
@@ -66,6 +92,19 @@ class CounterModels {
   /// (single-input convenience; includes the input column itself).
   ml::Dataset predict_features(const std::vector<double>& sizes) const;
 
+  /// Predict counter `entry` with one specific model from its chain
+  /// (the guard layer's demotion primitive). When `negative_clamped` is
+  /// non-null it reports whether the raw model output was negative
+  /// before the exit-point clamp.
+  double predict_kind(std::size_t entry, CounterModelKind kind,
+                      const std::vector<double>& inputs,
+                      bool* negative_clamped = nullptr) const;
+
+  std::size_t num_entries() const { return entries_.size(); }
+  const std::string& entry_counter(std::size_t entry) const;
+  /// Demotion order of one entry, primary first.
+  const std::vector<CounterModelKind>& entry_chain(std::size_t entry) const;
+
   const std::vector<CounterModelInfo>& info() const { return info_; }
   const std::vector<std::string>& inputs() const { return inputs_; }
   /// Mean training R^2 across counters (the paper quotes 0.99 for NW).
@@ -76,12 +115,30 @@ class CounterModels {
     std::string counter;
     CounterModelKind kind = CounterModelKind::kGlm;
     bool log_response = false;
+    /// Training data was non-negative, so predictions are clamped >= 0
+    /// at the exit point (true for every real GPU counter).
+    bool clamp_negative = true;
     ml::Glm glm;
     ml::Mars mars;
+    // ---- fallback chain (fit_fallback_chain) ----
+    ml::Glm loglin;
+    /// Power law y = pl_scale * s^pl_exp on the first input; when the
+    /// anchor points are non-positive a linear segment through the last
+    /// two points is used instead.
+    bool has_fallbacks = false;
+    bool pl_is_linear = false;
+    double pl_scale = 0.0;
+    double pl_exp = 0.0;
+    double pl_x0 = 0.0;
+    double pl_y0 = 0.0;
+    std::vector<CounterModelKind> chain;
   };
 
   double predict_entry(const Entry& entry,
                        const std::vector<double>& inputs) const;
+  double predict_entry_kind(const Entry& entry, CounterModelKind kind,
+                            const std::vector<double>& inputs,
+                            bool* negative_clamped) const;
 
   std::vector<std::string> inputs_;
   bool log_inputs_ = true;

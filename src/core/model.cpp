@@ -56,7 +56,8 @@ BlackForestModel BlackForestModel::fit(const ml::Dataset& ds,
 
   if (model.test_.num_rows() > 0) {
     const linalg::Matrix tx = model.test_.to_matrix(model.predictors_);
-    const std::vector<double> pred = model.forest_.predict(tx);
+    const std::vector<double> pred =
+        model.forest_.predict(tx);  // bf-lint: allow(guarded-predict)
     const std::vector<double>& truth =
         model.test_.column(profiling::kTimeColumn);
     model.test_mse_ = ml::mse(truth, pred);
@@ -83,7 +84,8 @@ BlackForestModel BlackForestModel::refit_with(
 
   if (model.test_.num_rows() > 0) {
     const linalg::Matrix tx = model.test_.to_matrix(predictors);
-    const std::vector<double> pred = model.forest_.predict(tx);
+    const std::vector<double> pred =
+        model.forest_.predict(tx);  // bf-lint: allow(guarded-predict)
     const std::vector<double>& truth =
         model.test_.column(profiling::kTimeColumn);
     model.test_mse_ = ml::mse(truth, pred);
@@ -94,7 +96,7 @@ BlackForestModel BlackForestModel::refit_with(
 
 std::vector<double> BlackForestModel::predict(const ml::Dataset& ds) const {
   const linalg::Matrix x = ds.to_matrix(predictors_);
-  return forest_.predict(x);
+  return forest_.predict(x);  // bf-lint: allow(guarded-predict)
 }
 
 }  // namespace bf::core

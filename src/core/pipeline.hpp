@@ -19,6 +19,7 @@
 #include "core/model.hpp"
 #include "core/pca_refine.hpp"
 #include "gpusim/arch.hpp"
+#include "guard/guard.hpp"
 #include "ml/dataset.hpp"
 #include "profiling/profiler.hpp"
 #include "profiling/sweep.hpp"
@@ -62,6 +63,9 @@ struct AnalysisOutcome {
   /// What missing-value resolution dropped/imputed (empty when the
   /// collection was fully observed).
   ml::MissingValueReport missing;
+  /// Model-health report of the prediction stage (disabled/empty until a
+  /// predictor runs; bf_analyze --predict fills it).
+  bf::guard::GuardReport guard;
   /// Human-readable degradation warnings accumulated across stages.
   std::vector<std::string> warnings;
 };

@@ -1,10 +1,15 @@
 #include "core/predictor.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "gpusim/arch.hpp"
+#include "guard/physical.hpp"
 #include "ml/metrics.hpp"
+#include "profiling/counter_registry.hpp"
 #include "profiling/sweep.hpp"
 
 namespace bf::core {
@@ -33,6 +38,45 @@ std::vector<std::string> common_columns(const ml::Dataset& a,
   return out;
 }
 
+std::string format_clamp(const guard::ClampEvent& e) {
+  std::ostringstream os;
+  os << e.counter << ": " << e.from << " -> " << e.to << " (" << e.reason
+     << ")";
+  return os.str();
+}
+
+/// Count predict-time events belonging to one counter ("name: ..." lines).
+int count_events(const std::vector<guard::PredictionGuardRecord>& recs,
+                 const std::string& counter, bool clamps) {
+  int n = 0;
+  const std::string prefix = counter + ":";
+  for (const auto& rec : recs) {
+    for (const auto& line : clamps ? rec.clamps : rec.demotions) {
+      if (line.rfind(prefix, 0) == 0) ++n;
+    }
+  }
+  return n;
+}
+
+guard::PredictionGuardRecord grade_forest_row(
+    const guard::DomainGuard& hull, const ml::Dataset& rows, std::size_t row,
+    double size, const ml::PredictionInterval& iv,
+    const guard::GuardOptions& options) {
+  guard::PredictionGuardRecord rec;
+  rec.size = size;
+  rec.value = iv.mean;
+  rec.raw_value = iv.mean;
+  rec.lo = iv.lo;
+  rec.hi = iv.hi;
+  rec.interval_width = std::abs(iv.mean) > 0.0
+                           ? (iv.hi - iv.lo) / std::abs(iv.mean)
+                           : iv.hi - iv.lo;
+  rec.flags = hull.check_row(rows, row);
+  rec.extrapolated = !rec.flags.empty();
+  rec.grade = guard::grade_prediction(rec, options);
+  return rec;
+}
+
 }  // namespace
 
 // ---- Problem scaling ----
@@ -54,7 +98,33 @@ ProblemScalingPredictor ProblemScalingPredictor::build(
 
   CounterModelOptions cm = options.counter_models;
   cm.inputs = {profiling::kSizeColumn};
+  p.guard_ = options.guard;
+  p.arch_ = options.arch;
+  if (p.guard_.enabled) {
+    cm.fit_fallback_chain = true;
+    cm.cv_folds = options.guard.cv_folds;
+  }
   p.counters_ = CounterModels::fit(p.full_.train_data(), p.retained_, cm);
+
+  // Guard fit-time state: the training hull over every retained feature
+  // and the per-counter sanity envelope the fallback chain is judged by.
+  const ml::Dataset& train = p.full_.train_data();
+  p.hull_ = guard::DomainGuard::build(train, p.retained_, p.guard_.margin);
+  const auto& size_col = train.column(profiling::kSizeColumn);
+  std::size_t argmax = 0;
+  for (std::size_t i = 0; i < size_col.size(); ++i) {
+    if (size_col[i] > size_col[argmax]) argmax = i;
+  }
+  p.max_train_size_ = size_col.empty() ? 0.0 : size_col[argmax];
+  p.train_max_.reserve(p.counters_.num_entries());
+  for (std::size_t e = 0; e < p.counters_.num_entries(); ++e) {
+    const auto& col = train.column(p.counters_.entry_counter(e));
+    p.train_max_.push_back(*std::max_element(col.begin(), col.end()));
+    p.train_at_max_size_.push_back(col[argmax]);
+    p.monotone_.push_back(
+        profiling::counter_monotonicity(p.counters_.entry_counter(e)) ==
+        profiling::Monotonicity::kNonDecreasing);
+  }
   return p;
 }
 
@@ -64,6 +134,133 @@ double ProblemScalingPredictor::predict_time(double size) const {
   return reduced_.predict(features)[0];
 }
 
+guard::PredictionGuardRecord ProblemScalingPredictor::predict_guarded(
+    double size) const {
+  guard::PredictionGuardRecord rec;
+  rec.size = size;
+
+  // 1. Generate the retained counters, demoting down each fallback chain
+  //    when a model's output violates its sanity envelope.
+  ml::Dataset features;
+  features.add_column(profiling::kSizeColumn, {size});
+  for (std::size_t e = 0; e < counters_.num_entries(); ++e) {
+    const std::string& name = counters_.entry_counter(e);
+    const auto& chain = counters_.entry_chain(e);
+    const bool has_chain = chain.size() > 1;
+    double envelope = std::numeric_limits<double>::infinity();
+    if (has_chain) {
+      const double pl =
+          counters_.predict_kind(e, CounterModelKind::kPowerLaw, {size});
+      envelope = std::max(train_max_[e], pl) * guard_.demote_slack;
+    }
+    const bool beyond_train = size > max_train_size_;
+    double value = 0.0;
+    bool accepted = false;
+    std::string first_failure;
+    for (const CounterModelKind kind : chain) {
+      bool neg = false;
+      const double v = counters_.predict_kind(e, kind, {size}, &neg);
+      std::string why;
+      if (!std::isfinite(v)) {
+        why = "non-finite";
+      } else if (neg) {
+        why = "negative";
+      } else if (v > envelope) {
+        why = "exceeds sanity envelope";
+      } else if (beyond_train && monotone_[e] &&
+                 v < train_at_max_size_[e] * guard_.monotone_floor) {
+        why = "breaks monotone growth";
+      }
+      if (!why.empty()) {
+        if (first_failure.empty()) first_failure = why;
+        continue;
+      }
+      value = v;
+      accepted = true;
+      if (kind != chain.front()) {
+        rec.demotions.push_back(
+            name + ": " + counter_model_name(chain.front()) + " -> " +
+            counter_model_name(kind) + " (" + first_failure + ")");
+      }
+      break;
+    }
+    if (!accepted) {
+      // Every model failed: fall back to the power law clamped into the
+      // envelope — the least-wrong physically meaningful value.
+      double v = has_chain ? counters_.predict_kind(
+                                 e, CounterModelKind::kPowerLaw, {size})
+                           : counters_.predict_kind(e, chain.front(), {size});
+      if (!std::isfinite(v)) v = train_at_max_size_[e];
+      value = std::clamp(v, 0.0, std::isfinite(envelope)
+                                     ? envelope
+                                     : std::numeric_limits<double>::max());
+      std::ostringstream os;
+      os << name << ": " << v << " -> " << value
+         << " (all chain models failed: " << first_failure << ")";
+      rec.clamps.push_back(os.str());
+    }
+    features.add_column(name, {value});
+  }
+
+  // 2. Hull check over the query size and the generated counters.
+  rec.flags = hull_.check_row(features, 0);
+  rec.extrapolated = !rec.flags.empty();
+
+  // 3. Static physical caps (ratio metrics, bandwidth, issue width).
+  const std::vector<guard::PhysicalCap> caps =
+      arch_ ? guard::static_caps(*arch_) : guard::ratio_caps();
+  for (const auto& ev :
+       guard::clamp_row_to_caps(features, 0, caps, guard_.cap_tolerance)) {
+    rec.clamps.push_back(format_clamp(ev));
+  }
+
+  // 4. Forest query with per-tree spread.
+  linalg::Matrix xm = features.to_matrix(reduced_.predictors());
+  ml::PredictionInterval iv = reduced_.forest().predict_interval(xm.row_ptr(0));
+  rec.raw_value = iv.mean;
+
+  // 5. Time-dependent caps need the predicted time itself; when one
+  //    fires, re-query the forest with the capped counters.
+  if (arch_ && std::isfinite(iv.mean) && iv.mean > 0.0) {
+    const auto tcaps = guard::time_caps(*arch_, iv.mean);
+    const auto tev =
+        guard::clamp_row_to_caps(features, 0, tcaps, guard_.cap_tolerance);
+    if (!tev.empty()) {
+      for (const auto& ev : tev) rec.clamps.push_back(format_clamp(ev));
+      xm = features.to_matrix(reduced_.predictors());
+      iv = reduced_.forest().predict_interval(xm.row_ptr(0));
+    }
+  }
+
+  rec.value = iv.mean;
+  rec.lo = iv.lo;
+  rec.hi = iv.hi;
+  rec.interval_width = std::abs(iv.mean) > 0.0
+                           ? (iv.hi - iv.lo) / std::abs(iv.mean)
+                           : iv.hi - iv.lo;
+  rec.grade = guard::grade_prediction(rec, guard_);
+  return rec;
+}
+
+guard::GuardReport ProblemScalingPredictor::guard_report() const {
+  guard::GuardReport report;
+  report.enabled = guard_.enabled;
+  report.options = guard_;
+  report.hull = hull_.ranges();
+  for (const auto& info : counters_.info()) {
+    guard::CounterGuardRecord rec;
+    rec.counter = info.counter;
+    rec.chosen = counter_model_name(info.chosen);
+    rec.r2 = info.r2;
+    rec.cv_rmse = info.cv_rmse;
+    for (const CounterModelKind k : info.chain) {
+      rec.chain.push_back(counter_model_name(k));
+    }
+    report.counters.push_back(std::move(rec));
+  }
+  return report;
+}
+
 PredictionSeries ProblemScalingPredictor::validate(
     const std::vector<double>& sizes,
     const std::vector<double>& measured_ms) const {
@@ -71,8 +268,26 @@ PredictionSeries ProblemScalingPredictor::validate(
                "sizes/measured length mismatch");
   std::vector<double> predicted;
   predicted.reserve(sizes.size());
-  for (const double s : sizes) predicted.push_back(predict_time(s));
-  return score_series(sizes, measured_ms, std::move(predicted));
+  if (!guard_.enabled) {
+    // Legacy unguarded path, bit for bit.
+    for (const double s : sizes) predicted.push_back(predict_time(s));
+    return score_series(sizes, measured_ms, std::move(predicted));
+  }
+  std::vector<guard::PredictionGuardRecord> recs;
+  recs.reserve(sizes.size());
+  for (const double s : sizes) {
+    recs.push_back(predict_guarded(s));
+    predicted.push_back(recs.back().value);
+  }
+  PredictionSeries series =
+      score_series(sizes, measured_ms, std::move(predicted));
+  series.guard = guard_report();
+  for (auto& counter : series.guard.counters) {
+    counter.demotions = count_events(recs, counter.counter, false);
+    counter.clamps = count_events(recs, counter.counter, true);
+  }
+  series.guard.predictions = std::move(recs);
+  return series;
 }
 
 // ---- Hardware scaling ----
@@ -178,6 +393,25 @@ HardwareScalingResult HardwareScalingPredictor::predict(
   out.series = score_series(split.test.column(profiling::kSizeColumn),
                             split.test.column(profiling::kTimeColumn),
                             predicted);
+
+  if (options.guard.enabled) {
+    // Annotate (never alter) the test predictions: hull membership of
+    // each test row w.r.t. the calibrated training set, plus per-tree
+    // spread grading. Cross-architecture prediction is exactly where the
+    // model silently leaves its domain (paper §6.2's NW divergence).
+    const guard::DomainGuard hull = guard::DomainGuard::build(
+        train, model.predictors(), options.guard.margin);
+    const linalg::Matrix xm = split.test.to_matrix(model.predictors());
+    const auto intervals = model.forest().predict_intervals(xm);
+    out.series.guard.enabled = true;
+    out.series.guard.options = options.guard;
+    out.series.guard.hull = hull.ranges();
+    const auto& test_sizes = out.series.sizes;
+    for (std::size_t r = 0; r < intervals.size(); ++r) {
+      out.series.guard.predictions.push_back(grade_forest_row(
+          hull, split.test, r, test_sizes[r], intervals[r], options.guard));
+    }
+  }
   return out;
 }
 

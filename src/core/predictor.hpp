@@ -15,11 +15,14 @@
 // exist on both.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/counter_models.hpp"
 #include "core/model.hpp"
+#include "gpusim/arch.hpp"
+#include "guard/guard.hpp"
 #include "ml/dataset.hpp"
 
 namespace bf::core {
@@ -31,6 +34,8 @@ struct PredictionSeries {
   double mse = 0.0;
   double explained_variance = 0.0;  ///< 1 - mse / var(measured)
   double median_abs_pct_error = 0.0;
+  /// Model-health self-description (empty/disabled on the legacy path).
+  bf::guard::GuardReport guard;
 };
 
 // ---- Problem scaling ----
@@ -39,6 +44,13 @@ struct ProblemScalingOptions {
   std::size_t top_k = 6;  ///< retained variables (paper: "between 6 and 8")
   ModelOptions model;
   CounterModelOptions counter_models;
+  /// Model-health supervision (hull checks, fallback chains, physical
+  /// caps, confidence grades). guard.enabled = false restores the legacy
+  /// unguarded path bit for bit.
+  bf::guard::GuardOptions guard;
+  /// Architecture whose physical limits cap predicted counters; without
+  /// it only architecture-independent caps (ratio metrics <= 1) apply.
+  std::optional<gpusim::ArchSpec> arch;
 
   ProblemScalingOptions() {
     // Problem-scaling sweeps are small (tens of rows) with responses
@@ -55,10 +67,17 @@ class ProblemScalingPredictor {
                                        const ProblemScalingOptions& options =
                                            {});
 
-  /// Predict the execution time for one unseen problem size.
+  /// Predict the execution time for one unseen problem size (legacy
+  /// unguarded path; see predict_guarded for the supervised one).
   double predict_time(double size) const;
 
-  /// Predict a series and score it against measured times.
+  /// Guarded prediction: hull check, counter-chain demotion, physical
+  /// caps, per-tree interval and confidence grade. With no guard tripped
+  /// the returned value is bit-identical to predict_time.
+  bf::guard::PredictionGuardRecord predict_guarded(double size) const;
+
+  /// Predict a series and score it against measured times. When the
+  /// guard is enabled the series carries a filled GuardReport.
   PredictionSeries validate(const std::vector<double>& sizes,
                             const std::vector<double>& measured_ms) const;
 
@@ -67,12 +86,26 @@ class ProblemScalingPredictor {
   const BlackForestModel& reduced_model() const { return reduced_; }
   const CounterModels& counter_models() const { return counters_; }
   const std::vector<std::string>& retained() const { return retained_; }
+  /// Training hull of the problem size (piece 1 of the guard layer).
+  const bf::guard::DomainGuard& hull() const { return hull_; }
+  /// Fit-time guard skeleton (hull + per-counter chain records).
+  bf::guard::GuardReport guard_report() const;
 
  private:
   BlackForestModel full_;
   BlackForestModel reduced_;
   CounterModels counters_;
   std::vector<std::string> retained_;
+  bf::guard::DomainGuard hull_;
+  bf::guard::GuardOptions guard_;
+  std::optional<gpusim::ArchSpec> arch_;
+  // Sanity envelope per counter entry (aligned with counters_ entries):
+  // max training value, value at the largest training size, and whether
+  // the counter registry marks it non-decreasing in problem size.
+  std::vector<double> train_max_;
+  std::vector<double> train_at_max_size_;
+  std::vector<bool> monotone_;
+  double max_train_size_ = 0.0;
 };
 
 // ---- Hardware scaling ----
@@ -86,6 +119,9 @@ struct HardwareScalingOptions {
   /// workaround is applied automatically.
   double similarity_threshold = 0.5;
   ModelOptions model;
+  /// Hull + interval grading of the target test rows; predictions are
+  /// unchanged, the guard only annotates.
+  bf::guard::GuardOptions guard;
   std::uint64_t seed = 99;
 
   HardwareScalingOptions() {

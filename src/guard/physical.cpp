@@ -1,0 +1,94 @@
+#include "guard/physical.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace bf::guard {
+namespace {
+
+std::string format_value(double v) {
+  std::ostringstream os;
+  os.precision(4);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<PhysicalCap> ratio_caps() {
+  std::vector<PhysicalCap> caps;
+  for (const char* name :
+       {"achieved_occupancy", "warp_execution_efficiency",
+        "issue_slot_utilization", "gld_efficiency", "gst_efficiency",
+        "flop_sp_efficiency"}) {
+    caps.push_back({name, 1.0, "ratio metric <= 1"});
+  }
+  return caps;
+}
+
+std::vector<PhysicalCap> static_caps(const gpusim::ArchSpec& arch) {
+  std::vector<PhysicalCap> caps = ratio_caps();
+  const double issue_width =
+      static_cast<double>(arch.warp_schedulers_per_sm) *
+      static_cast<double>(arch.dispatch_units_per_scheduler);
+  caps.push_back({"ipc", issue_width,
+                  "IPC <= schedulers x dispatch units (" +
+                      format_value(issue_width) + ")"});
+  caps.push_back({"dram_read_throughput", arch.mem_bandwidth_gbs,
+                  "DRAM read throughput <= " +
+                      format_value(arch.mem_bandwidth_gbs) + " GB/s"});
+  caps.push_back({"dram_write_throughput", arch.mem_bandwidth_gbs,
+                  "DRAM write throughput <= " +
+                      format_value(arch.mem_bandwidth_gbs) + " GB/s"});
+  return caps;
+}
+
+std::vector<PhysicalCap> time_caps(const gpusim::ArchSpec& arch,
+                                   double predicted_time_ms) {
+  std::vector<PhysicalCap> caps;
+  if (!(predicted_time_ms > 0.0) || !std::isfinite(predicted_time_ms)) {
+    return caps;
+  }
+  const double time_s = predicted_time_ms * 1e-3;
+  // The memory bus cannot move more than bandwidth x time bytes; DRAM
+  // transactions are l2_transaction_bytes-sized segments of that budget.
+  const double bus_bytes = arch.mem_bandwidth_gbs * 1e9 * time_s;
+  const double max_transactions =
+      bus_bytes / static_cast<double>(arch.l2_transaction_bytes);
+  const std::string bus_reason =
+      "bandwidth x predicted time allows <= " +
+      format_value(max_transactions) + " transactions";
+  caps.push_back({"dram_read_transactions", max_transactions, bus_reason});
+  caps.push_back({"dram_write_transactions", max_transactions, bus_reason});
+  // The schedulers cannot issue more warp instructions than
+  // SMs x schedulers x dispatch units x clock x time.
+  const double max_issued = static_cast<double>(arch.sm_count) *
+                            static_cast<double>(arch.warp_schedulers_per_sm) *
+                            static_cast<double>(
+                                arch.dispatch_units_per_scheduler) *
+                            arch.clock_ghz * 1e9 * time_s;
+  const std::string issue_reason =
+      "issue rate x predicted time allows <= " + format_value(max_issued) +
+      " warp instructions";
+  caps.push_back({"inst_executed", max_issued, issue_reason});
+  caps.push_back({"inst_issued", max_issued, issue_reason});
+  return caps;
+}
+
+std::vector<ClampEvent> clamp_row_to_caps(
+    ml::Dataset& features, std::size_t row,
+    const std::vector<PhysicalCap>& caps, double tolerance) {
+  std::vector<ClampEvent> events;
+  for (const auto& cap : caps) {
+    if (!features.has_column(cap.counter)) continue;
+    auto& col = features.mutable_column(cap.counter);
+    const double v = col[row];
+    if (!std::isfinite(v)) continue;
+    if (v <= cap.max_value * (1.0 + tolerance)) continue;
+    events.push_back({cap.counter, v, cap.max_value, cap.reason});
+    col[row] = cap.max_value;
+  }
+  return events;
+}
+
+}  // namespace bf::guard

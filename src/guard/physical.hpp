@@ -1,0 +1,54 @@
+// Physical caps for predicted counter values, derived from the
+// architecture specs (gpusim/arch) and the counter registry's
+// monotonicity hints. A counter model extrapolating a problem size can
+// emit values no real GPU could produce — more DRAM transactions than
+// the bus can move in the predicted time, ratio metrics above 1, IPC
+// above the issue width. The guard layer clamps predictions to these
+// caps and records every clamp (grade C: the model left its domain).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/arch.hpp"
+#include "ml/dataset.hpp"
+
+namespace bf::guard {
+
+/// Upper bound on one counter, with the physical law it comes from.
+struct PhysicalCap {
+  std::string counter;
+  double max_value = 0.0;
+  std::string reason;
+};
+
+/// One applied clamp (value exceeded its cap beyond tolerance).
+struct ClampEvent {
+  std::string counter;
+  double from = 0.0;
+  double to = 0.0;
+  std::string reason;
+};
+
+/// Architecture-independent caps: ratio metrics live in [0, 1].
+std::vector<PhysicalCap> ratio_caps();
+
+/// Caps that need the architecture but no timing context (IPC vs issue
+/// width, DRAM throughput vs memory bandwidth). Includes ratio_caps().
+std::vector<PhysicalCap> static_caps(const gpusim::ArchSpec& arch);
+
+/// Caps derived from a predicted execution time: transaction and
+/// instruction counts bounded by bandwidth x time and issue rate x time.
+std::vector<PhysicalCap> time_caps(const gpusim::ArchSpec& arch,
+                                   double predicted_time_ms);
+
+/// Clamp `row` of the feature dataset to `caps`, tolerating relative
+/// violations up to `tolerance` (well-fitted models sit within a few
+/// percent of hard caps; those are not guard events). Returns the
+/// clamps actually applied.
+std::vector<ClampEvent> clamp_row_to_caps(ml::Dataset& features,
+                                          std::size_t row,
+                                          const std::vector<PhysicalCap>& caps,
+                                          double tolerance);
+
+}  // namespace bf::guard

@@ -1,5 +1,6 @@
 #include "ml/cv.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -55,6 +56,28 @@ CvResult kfold_cv(
   out.mean_mse = mean(out.fold_mse);
   out.sd_mse = sample_sd(out.fold_mse);
   return out;
+}
+
+double cv_rmse(const Dataset& ds, const std::string& response,
+               std::size_t folds, std::uint64_t seed,
+               const std::function<std::vector<double>(const Dataset&,
+                                                       const Dataset&)>&
+                   fit_predict) {
+  const std::size_t n = ds.num_rows();
+  if (n < 2) return std::numeric_limits<double>::infinity();
+  folds = std::min(folds, n);
+  if (folds < 2) folds = 2;
+  try {
+    Rng rng(seed);
+    const CvResult result = kfold_cv(ds, response, folds, rng, fit_predict);
+    if (!std::isfinite(result.mean_mse)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return std::sqrt(std::max(0.0, result.mean_mse));
+  } catch (const Error&) {
+    // A model that cannot even fit its folds ranks last, not fatal.
+    return std::numeric_limits<double>::infinity();
+  }
 }
 
 }  // namespace bf::ml

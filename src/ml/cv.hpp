@@ -32,4 +32,14 @@ CvResult kfold_cv(
                                             const Dataset& test)>&
         fit_predict);
 
+/// RMSE convenience over kfold_cv, clamping `folds` to the row count.
+/// Returns +inf when the dataset is too small to cross-validate (< 2
+/// rows) or when `fit_predict` throws on some fold — an infinite CV
+/// error naturally ranks an unusable model last in a fallback chain.
+double cv_rmse(const Dataset& ds, const std::string& response,
+               std::size_t folds, std::uint64_t seed,
+               const std::function<std::vector<double>(const Dataset& train,
+                                                       const Dataset& test)>&
+                   fit_predict);
+
 }  // namespace bf::ml

@@ -8,6 +8,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/thread_pool.hpp"
 #include "ml/metrics.hpp"
 
@@ -180,10 +181,48 @@ void RandomForest::fit(const linalg::Matrix& x, const std::vector<double>& y,
       for (std::size_t f = 0; f < p; ++f) imp_purity_[f] += purity[f];
     }
   }
+  compute_feature_medians();
+}
+
+void RandomForest::compute_feature_medians() {
+  const std::size_t n = train_x_.rows();
+  const std::size_t p = train_x_.cols();
+  feature_medians_.assign(p, 0.0);
+  if (n == 0) return;
+  std::vector<double> col(n);
+  for (std::size_t f = 0; f < p; ++f) {
+    for (std::size_t r = 0; r < n; ++r) col[r] = train_x_(r, f);
+    std::sort(col.begin(), col.end());
+    feature_medians_[f] =
+        n % 2 == 1 ? col[n / 2] : 0.5 * (col[n / 2 - 1] + col[n / 2]);
+  }
+}
+
+const double* RandomForest::sanitize_row(const double* row,
+                                         std::vector<double>& buffer) const {
+  const std::size_t p = feature_names_.size();
+  // Injected corruption: one feature becomes NaN before the trees see
+  // it, exercising the same repair path real dropped counters take.
+  if (fault::should_fire(fault::points::kForestNanFeature)) {
+    buffer.assign(row, row + p);
+    buffer[0] = std::numeric_limits<double>::quiet_NaN();
+    row = buffer.data();
+  }
+  for (std::size_t f = 0; f < p; ++f) {
+    if (std::isfinite(row[f])) continue;
+    if (buffer.empty()) {
+      buffer.assign(row, row + p);
+      row = buffer.data();
+    }
+    buffer[f] = feature_medians_[f];
+  }
+  return row;
 }
 
 double RandomForest::predict_row(const double* row) const {
   BF_CHECK_MSG(fitted(), "predict on unfitted forest");
+  std::vector<double> repaired;
+  row = sanitize_row(row, repaired);
   double acc = 0.0;
   for (const auto& tree : trees_) acc += tree.predict_row(row);
   return acc / static_cast<double>(trees_.size());
@@ -234,6 +273,8 @@ PredictionInterval RandomForest::predict_interval(const double* row,
                                                   double alpha) const {
   BF_CHECK_MSG(fitted(), "predict_interval on unfitted forest");
   BF_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  std::vector<double> repaired;
+  row = sanitize_row(row, repaired);
   std::vector<double> preds;
   preds.reserve(trees_.size());
   double acc = 0.0;
@@ -254,6 +295,18 @@ PredictionInterval RandomForest::predict_interval(const double* row,
   out.mean = acc / static_cast<double>(trees_.size());
   out.lo = quantile(alpha / 2.0);
   out.hi = quantile(1.0 - alpha / 2.0);
+  return out;
+}
+
+std::vector<PredictionInterval> RandomForest::predict_intervals(
+    const linalg::Matrix& x, double alpha) const {
+  BF_CHECK_MSG(x.cols() == feature_names_.size(),
+               "prediction matrix has wrong number of columns");
+  std::vector<PredictionInterval> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out.push_back(predict_interval(x.row_ptr(r), alpha));
+  }
   return out;
 }
 
@@ -424,6 +477,9 @@ RandomForest RandomForest::load(std::istream& is) {
   for (std::size_t t = 0; t < n_trees; ++t) {
     rf.trees_.push_back(RegressionTree::load(is));
   }
+  // Medians are derived state; recomputing keeps the on-disk format at
+  // version 1 while loaded forests still repair NaN queries.
+  rf.compute_feature_medians();
   return rf;
 }
 

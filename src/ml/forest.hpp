@@ -72,6 +72,11 @@ class RandomForest {
   void fit(const linalg::Matrix& x, const std::vector<double>& y,
            std::vector<std::string> feature_names, const ForestParams& params);
 
+  /// Predict one row. Non-finite feature values (dropped counters, the
+  /// ml.forest.nan_feature fault) are repaired with the per-feature
+  /// training median before the trees see them — a NaN query degrades
+  /// gracefully instead of taking an arbitrary tree path. Finite rows
+  /// take a branch-free fast path with unchanged arithmetic.
   double predict_row(const double* row) const;
   std::vector<double> predict(const linalg::Matrix& x) const;
 
@@ -105,6 +110,15 @@ class RandomForest {
   PredictionInterval predict_interval(const double* row,
                                       double alpha = 0.1) const;
 
+  /// Batch form of predict_interval, one interval per row of `x`.
+  std::vector<PredictionInterval> predict_intervals(const linalg::Matrix& x,
+                                                    double alpha = 0.1) const;
+
+  /// Per-feature training medians (the predict-time repair values).
+  const std::vector<double>& feature_medians() const {
+    return feature_medians_;
+  }
+
   /// Partial dependence with the same per-grid-point band (the paper's
   /// §7 "confidence intervals in the partial dependence plots").
   std::vector<PartialDependenceInterval> partial_dependence_interval(
@@ -126,10 +140,18 @@ class RandomForest {
   static RandomForest load_file(const std::string& path);
 
  private:
+  /// Repair a query row: replaces non-finite features (and the feature
+  /// corrupted by an armed ml.forest.nan_feature point) with training
+  /// medians. Returns the row to predict from (`row` itself when clean).
+  const double* sanitize_row(const double* row,
+                             std::vector<double>& buffer) const;
+  void compute_feature_medians();
+
   std::vector<RegressionTree> trees_;
   std::vector<std::string> feature_names_;
   linalg::Matrix train_x_;           // retained for partial dependence
   std::vector<double> train_y_;
+  std::vector<double> feature_medians_;  // derived from train_x_
   std::vector<double> oob_predictions_;
   double oob_mse_ = 0.0;
   double pct_var_explained_ = 0.0;

@@ -6,7 +6,8 @@ namespace bf::profiling {
 
 const std::vector<CounterInfo>& counter_registry() {
   using K = CounterKind;
-  static const std::vector<CounterInfo> registry = {
+  static const std::vector<CounterInfo> registry = [] {
+    std::vector<CounterInfo> r = {
       // ---- instruction events ----
       {"inst_executed", "warp instructions executed (no replays)",
        K::kEvent, true, true},
@@ -95,7 +96,15 @@ const std::vector<CounterInfo>& counter_registry() {
        true},
       {"power_avg_w", "estimated average board power (W)", K::kMetric, true,
        true},
-  };
+    };
+    // Raw event counts (instructions, transactions, requests, replays)
+    // can only grow with the problem size; derived ratios and
+    // throughputs carry no such constraint.
+    for (auto& c : r) {
+      if (c.kind == K::kEvent) c.monotone = Monotonicity::kNonDecreasing;
+    }
+    return r;
+  }();
   return registry;
 }
 
@@ -109,6 +118,13 @@ const CounterInfo& counter_info(const std::string& name) {
 bool counter_available(const std::string& name, gpusim::Generation gen) {
   const CounterInfo& info = counter_info(name);
   return gen == gpusim::Generation::kFermi ? info.on_fermi : info.on_kepler;
+}
+
+Monotonicity counter_monotonicity(const std::string& name) {
+  for (const auto& c : counter_registry()) {
+    if (c.name == name) return c.monotone;
+  }
+  return Monotonicity::kNone;
 }
 
 std::vector<std::string> counters_for(gpusim::Generation gen) {

@@ -20,12 +20,22 @@ enum class CounterKind {
   kMetric,  ///< derived metric (ratio, percentage or throughput)
 };
 
+/// Expected behaviour of a counter as the problem size grows. The
+/// prediction guard uses this to sanity-check extrapolated counter
+/// models: a non-decreasing counter predicted *below* its value at the
+/// largest training size signals a diverging model.
+enum class Monotonicity {
+  kNone,           ///< no constraint (ratios, throughputs, occupancy)
+  kNonDecreasing,  ///< raw event counts grow with the problem size
+};
+
 struct CounterInfo {
   std::string name;
   std::string description;
   CounterKind kind = CounterKind::kEvent;
   bool on_fermi = true;
   bool on_kepler = true;
+  Monotonicity monotone = Monotonicity::kNone;
 };
 
 /// All counters/metrics the profiler can produce, in a stable order.
@@ -39,5 +49,10 @@ bool counter_available(const std::string& name, gpusim::Generation gen);
 
 /// Names available on a generation, in registry order.
 std::vector<std::string> counters_for(gpusim::Generation gen);
+
+/// Monotonicity hint for `name`; kNone for names the registry does not
+/// know (problem characteristics, CPU counters, ...), so guard code can
+/// query arbitrary dataset columns safely.
+Monotonicity counter_monotonicity(const std::string& name);
 
 }  // namespace bf::profiling

@@ -1,0 +1,23 @@
+// Renderings of the guard layer's model-health reports: an ASCII block
+// (per-counter model table + per-prediction grades) for terminals, and a
+// JSON export so CI can assert on grades machine-readably.
+#pragma once
+
+#include <string>
+
+#include "guard/guard.hpp"
+
+namespace bf::report {
+
+/// Multi-line ASCII rendering of a GuardReport: summary line, counter
+/// model table (chosen model, R^2, CV RMSE, chain, demotions, clamps)
+/// and one graded line per prediction. Empty string when the report is
+/// disabled.
+std::string guard_text(const bf::guard::GuardReport& report);
+
+/// Write the report as JSON: options, hull, counters and predictions
+/// with grades, flags, demotions and clamps.
+void export_guard_json(const std::string& path,
+                       const bf::guard::GuardReport& report);
+
+}  // namespace bf::report

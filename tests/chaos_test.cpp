@@ -20,8 +20,11 @@
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "core/pipeline.hpp"
+#include "core/predictor.hpp"
 #include "gpusim/arch.hpp"
+#include "guard/guard.hpp"
 #include "ml/dataset.hpp"
+#include "ml/forest.hpp"
 #include "profiling/repository.hpp"
 #include "profiling/sweep.hpp"
 #include "profiling/workloads.hpp"
@@ -409,6 +412,74 @@ TEST_F(Chaos, AnalysisUnderFaultsRanksTheSameTopBottlenecks) {
   EXPECT_GT(fault::stats(fault::points::kProfilerRunCrash).fired +
                 fault::stats(fault::points::kProfilerCounterDropout).fired,
             0u);
+}
+
+// ---- ML-layer faults ----
+
+TEST_F(Chaos, ForestNanFeatureFaultIsRepairedWithTrainingMedian) {
+  // A corrupted feature must take the same repair path a real dropped
+  // counter takes: replaced by the training median, never an arbitrary
+  // tree descent on NaN comparisons.
+  linalg::Matrix x(60, 2);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    x(i, 1) = static_cast<double>((i * 7) % 13);
+    y[i] = 5.0 * x(i, 0) + 0.5 * x(i, 1);
+  }
+  ml::RandomForest rf;
+  ml::ForestParams params;
+  params.n_trees = 60;
+  params.seed = 7;
+  rf.fit(x, y, {"a", "b"}, params);
+
+  const std::vector<double> query = {50.0, 4.0};
+  const double clean = rf.predict_row(query.data());
+
+  std::vector<double> median_query = query;
+  median_query[0] = rf.feature_medians()[0];
+  const double repaired_reference = rf.predict_row(median_query.data());
+
+  fault::configure("ml.forest.nan_feature:1.0");
+  const double faulted = rf.predict_row(query.data());
+  fault::reset();
+
+  EXPECT_EQ(faulted, repaired_reference);
+  EXPECT_NE(faulted, clean);  // the fault really corrupted the feature
+}
+
+TEST_F(Chaos, GuardedPredictionSurvivesModelDivergence) {
+  // The robustness headline for the guard layer: with counter models
+  // randomly diverging (output blown up 1e6x at the exit point), the
+  // guarded reduce1 prediction demotes along the fallback chain and
+  // still grades at least B in hull, while a query far beyond the
+  // training sizes is flagged as extrapolated.
+  const gpusim::Device device(gpusim::arch_by_name("gtx580"));
+  const ml::Dataset sweep_ds = profiling::sweep(
+      profiling::workload_by_name("reduce1"), device,
+      profiling::log2_sizes(1 << 14, 1 << 22, 16, 256));
+  core::ProblemScalingOptions pso;
+  pso.model.forest.n_trees = 120;
+  pso.arch = gpusim::arch_by_name("gtx580");
+  const auto predictor = core::ProblemScalingPredictor::build(sweep_ds, pso);
+
+  // Arm the divergence only for the predict phase: the fit above is
+  // clean, the queries below run against a 20% per-call blow-up rate.
+  const fault::ScopedFaults faults("ml.counter_model.diverge:0.2", 11);
+
+  for (const double s : {65536.0, 262144.0, 1048576.0}) {
+    const auto rec = predictor.predict_guarded(s);
+    EXPECT_NE(rec.grade, guard::Grade::kC) << "size " << s;
+    EXPECT_FALSE(rec.extrapolated) << "size " << s;
+    EXPECT_TRUE(std::isfinite(rec.value)) << "size " << s;
+    EXPECT_GT(rec.value, 0.0) << "size " << s;
+  }
+
+  const auto far = predictor.predict_guarded(4.0 * (1 << 22));
+  EXPECT_TRUE(far.extrapolated);
+
+  // The divergence really fired; the demotion chain was exercised.
+  EXPECT_GT(fault::stats(fault::points::kCounterModelDiverge).fired, 0u);
 }
 
 // ---- size-grid hygiene (rides along with the failure policy) ----

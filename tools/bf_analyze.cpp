@@ -21,10 +21,12 @@
 #include "core/pipeline.hpp"
 #include "core/predictor.hpp"
 #include "gpusim/arch.hpp"
+#include "guard/guard.hpp"
 #include "profiling/repository.hpp"
 #include "profiling/sweep.hpp"
 #include "profiling/workloads.hpp"
 #include "report/ascii.hpp"
+#include "report/guard_render.hpp"
 
 namespace {
 
@@ -47,6 +49,12 @@ void usage() {
       "  --faults SPEC     arm fault injection: <point>:<rate>[:<count>]\n"
       "                    comma-list (also via BF_FAULTS in the env)\n"
       "  --fault-seed N    deterministic fault stream seed\n"
+      "  --guard-margin F  extrapolation margin of the prediction guard,\n"
+      "                    as a fraction of the training span (default 0.1)\n"
+      "  --strict-guard    exit non-zero when any prediction grades C\n"
+      "  --no-guard        disable model-health supervision (legacy\n"
+      "                    unguarded prediction path)\n"
+      "  --guard-json PATH write the guard report as JSON\n"
       "  --check           validate counter invariants instead of\n"
       "                    modelling: sweeps the workload (or, with\n"
       "                    --repo, every stored sweep) and reports rule\n"
@@ -68,6 +76,10 @@ struct Args {
   std::uint64_t fault_seed = bf::fault::kDefaultSeed;
   std::vector<double> predict;
   std::string repo;
+  double guard_margin = 0.1;
+  bool strict_guard = false;
+  bool no_guard = false;
+  std::string guard_json;
   bool list = false;
   bool check = false;
 };
@@ -104,6 +116,14 @@ Args parse(int argc, char** argv) {
       args.fault_seed = static_cast<std::uint64_t>(parse_int(next()));
     } else if (a == "--predict") {
       args.predict.push_back(parse_double(next()));
+    } else if (a == "--guard-margin") {
+      args.guard_margin = parse_double(next());
+    } else if (a == "--strict-guard") {
+      args.strict_guard = true;
+    } else if (a == "--no-guard") {
+      args.no_guard = true;
+    } else if (a == "--guard-json") {
+      args.guard_json = next();
     } else if (a == "--repo") {
       args.repo = next();
     } else if (a == "--list") {
@@ -248,7 +268,7 @@ int main(int argc, char** argv) {
     std::printf("analysing %s on %s (%zu runs, sizes %g..%g)\n\n",
                 args.workload.c_str(), args.arch.c_str(),
                 config.sizes.size(), lo, hi);
-    const auto outcome = core::run_analysis(config);
+    auto outcome = core::run_analysis(config);
 
     if (!outcome.warnings.empty()) {
       std::printf("%s\n",
@@ -274,12 +294,39 @@ int main(int argc, char** argv) {
     if (!args.predict.empty()) {
       core::ProblemScalingOptions pso;
       pso.model.forest.n_trees = static_cast<std::size_t>(args.trees);
+      pso.guard.enabled = !args.no_guard;
+      pso.guard.margin = args.guard_margin;
+      pso.arch = config.arch;
       const auto predictor =
           core::ProblemScalingPredictor::build(outcome.data, pso);
       std::printf("problem-scaling predictions:\n");
+      if (args.no_guard) {
+        for (const double s : args.predict) {
+          std::printf("  size %-10g -> %.4f ms\n", s,
+                      predictor.predict_time(s));
+        }
+        return 0;
+      }
+
+      guard::GuardReport report = predictor.guard_report();
       for (const double s : args.predict) {
-        std::printf("  size %-10g -> %.4f ms\n", s,
-                    predictor.predict_time(s));
+        const auto rec = predictor.predict_guarded(s);
+        std::printf("  size %-10g -> %.4f ms  [%.4f, %.4f]  grade %c%s\n", s,
+                    rec.value, rec.lo, rec.hi, guard::grade_letter(rec.grade),
+                    rec.extrapolated ? "  (extrapolated)" : "");
+        report.predictions.push_back(rec);
+      }
+      std::printf("\n%s", report::guard_text(report).c_str());
+      outcome.guard = report;
+      if (!args.guard_json.empty()) {
+        report::export_guard_json(args.guard_json, report);
+        std::printf("guard report written to %s\n", args.guard_json.c_str());
+      }
+      if (args.strict_guard && report.count(guard::Grade::kC) > 0) {
+        std::fprintf(stderr,
+                     "bf_analyze: --strict-guard: %zu prediction(s) graded C\n",
+                     report.count(guard::Grade::kC));
+        return 2;
       }
     }
     return 0;

@@ -15,6 +15,11 @@
 //   atomic-write    direct std::ofstream use inside the profiling /
 //                   repository layer, which can leave torn entries on
 //                   crash; persist through bf::atomic_write_file
+//   guarded-predict direct per-row forest / counter-model queries
+//                   (predict_row, forest().predict) inside src/core/ or
+//                   tools/, bypassing the guard layer's supervised entry
+//                   points (ProblemScalingPredictor::predict_guarded,
+//                   CounterModels::predict_kind)
 //
 // Comments and string/char literals are stripped before matching, so
 // prose and format strings never trip a rule. A finding on a line
@@ -217,6 +222,13 @@ void scan_file(const fs::path& path, std::vector<Finding>& findings) {
       path.generic_string().find("/profiling/") != std::string::npos ||
       path.filename().string().find("repository") != std::string::npos;
 
+  // Prediction consumers (the core pipeline and the CLI tools) must go
+  // through the guard layer's supervised entry points; the few audited
+  // raw-query exits carry explicit allow() suppressions.
+  const bool guard_scope =
+      path.generic_string().find("/core/") != std::string::npos ||
+      path.generic_string().find("/tools/") != std::string::npos;
+
   const std::vector<Token> tokens = tokenize(stripped);
   for (std::size_t i = 0; i < tokens.size(); ++i) {
     const Token& t = tokens[i];
@@ -249,6 +261,20 @@ void scan_file(const fs::path& path, std::vector<Finding>& findings) {
       report(t.line, "atomic-write",
              "direct ofstream write in the repository layer can tear "
              "entries on crash (use bf::atomic_write_file)");
+    } else if (guard_scope && t.text == "predict_row") {
+      report(t.line, "guarded-predict",
+             "direct per-row model query bypasses the guard layer (use "
+             "ProblemScalingPredictor::predict_guarded / "
+             "CounterModels::predict_kind)");
+    } else if (guard_scope && t.text == "predict" && i >= 2 &&
+               tokens[i - 1].text == "." &&
+               (tokens[i - 2].text == "forest_" ||
+                (i >= 4 && tokens[i - 2].text == ")" &&
+                 tokens[i - 3].text == "(" &&
+                 tokens[i - 4].text == "forest"))) {
+      report(t.line, "guarded-predict",
+             "direct forest prediction bypasses the guard layer (use "
+             "ProblemScalingPredictor::predict_guarded)");
     }
   }
 }
