@@ -57,6 +57,12 @@ inline constexpr const char* kForestNanFeature = "ml.forest.nan_feature";
 /// A counter-model prediction diverges (x1e6) before sanity checks —
 /// the guard layer's fallback chain must catch and demote it.
 inline constexpr const char* kCounterModelDiverge = "ml.counter_model.diverge";
+/// One byte of a .bfmodel bundle flips between disk and the parser —
+/// the artifact checksum must catch it and quarantine the bundle.
+inline constexpr const char* kServeArtifactBitrot = "serve.artifact.bitrot";
+/// A model-registry disk load fails outright (I/O error); the cache must
+/// stay consistent and the next request for the key must retry.
+inline constexpr const char* kServeCacheLoadFail = "serve.cache.load_fail";
 }  // namespace points
 
 struct PointStats {

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <istream>
 #include <sstream>
 #include <system_error>
 
@@ -45,6 +46,21 @@ std::optional<std::string> read_file(const std::string& path) {
   std::ostringstream buf;
   buf << is.rdbuf();
   return buf.str();
+}
+
+int read_format_version(std::istream& is, const char* magic,
+                        int max_supported) {
+  std::string tag;
+  int version = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> tag >> version),
+               "truncated stream: expected '" << magic << " <version>'");
+  BF_CHECK_MSG(tag == magic, "bad magic: expected '" << magic << "', got '"
+                                                     << tag << "'");
+  BF_CHECK_MSG(version >= 1 && version <= max_supported,
+               magic << " format_version " << version
+                     << " is unsupported (reader handles 1.."
+                     << max_supported << ")");
+  return version;
 }
 
 std::uint64_t fnv1a64(std::string_view data) {

@@ -1,0 +1,37 @@
+#include "common/version.hpp"
+
+// The three identity macros are injected by src/common/CMakeLists.txt;
+// the fallbacks keep non-CMake builds (and tooling that compiles single
+// translation units) working.
+#ifndef BF_GIT_DESCRIBE
+#define BF_GIT_DESCRIBE "unknown"
+#endif
+#ifndef BF_BUILD_TYPE
+#define BF_BUILD_TYPE "unknown"
+#endif
+#ifndef BF_SANITIZE_NAME
+#define BF_SANITIZE_NAME ""
+#endif
+
+namespace bf {
+
+const char* git_describe() { return BF_GIT_DESCRIBE; }
+
+const char* build_type() { return BF_BUILD_TYPE; }
+
+const char* sanitizer() {
+  return BF_SANITIZE_NAME[0] == '\0' ? "none" : BF_SANITIZE_NAME;
+}
+
+std::string version_string() {
+  std::string out = "blackforest ";
+  out += git_describe();
+  out += " (";
+  out += build_type();
+  out += ", sanitizer=";
+  out += sanitizer();
+  out += ")";
+  return out;
+}
+
+}  // namespace bf

@@ -1,0 +1,26 @@
+// Build identity of this BlackForest binary: git describe, build type
+// and sanitizer, stamped by CMake at configure time. Tools print it via
+// --version and every exported .bfmodel bundle records it in its
+// provenance block, so a served prediction can always be traced back to
+// the exact build that trained the model.
+#pragma once
+
+#include <string>
+
+namespace bf {
+
+/// Short git identity (git describe --always --dirty), "unknown" when
+/// the build was configured outside a git checkout.
+const char* git_describe();
+
+/// CMake build type (Release, RelWithDebInfo, ...).
+const char* build_type();
+
+/// Sanitizer the build was instrumented with ("none" by default).
+const char* sanitizer();
+
+/// One-line build identity, e.g.
+/// "blackforest 3bea3bd (RelWithDebInfo, sanitizer=none)".
+std::string version_string();
+
+}  // namespace bf

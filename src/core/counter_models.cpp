@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
 #include <numeric>
+#include <ostream>
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/io.hpp"
 #include "ml/cv.hpp"
 #include "ml/metrics.hpp"
 
@@ -412,6 +415,123 @@ double CounterModels::average_r2() const {
   double acc = 0.0;
   for (const auto& i : info_) acc += i.r2;
   return acc / static_cast<double>(info_.size());
+}
+
+namespace {
+
+CounterModelKind kind_from_code(int code) {
+  BF_CHECK_MSG(code >= 0 && code <= static_cast<int>(CounterModelKind::kPowerLaw),
+               "bf_counter_models: bad model-kind code " << code);
+  return static_cast<CounterModelKind>(code);
+}
+
+void save_chain(std::ostream& os, const std::vector<CounterModelKind>& chain) {
+  os << chain.size();
+  for (const CounterModelKind k : chain) os << ' ' << static_cast<int>(k);
+  os << "\n";
+}
+
+std::vector<CounterModelKind> load_chain(std::istream& is) {
+  std::size_t n = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> n) && n >= 1 && n <= 8,
+               "bf_counter_models: bad chain length");
+  std::vector<CounterModelKind> chain(n);
+  for (auto& k : chain) {
+    int code = 0;
+    BF_CHECK_MSG(static_cast<bool>(is >> code),
+                 "bf_counter_models: truncated chain");
+    k = kind_from_code(code);
+  }
+  return chain;
+}
+
+}  // namespace
+
+void CounterModels::save(std::ostream& os) const {
+  os.precision(17);
+  os << "bf_counter_models 1\n";
+  os << inputs_.size();
+  for (const auto& name : inputs_) os << ' ' << name;
+  os << ' ' << (log_inputs_ ? 1 : 0) << "\n";
+  os << "entries " << entries_.size() << "\n";
+  for (const auto& e : entries_) {
+    os << e.counter << ' ' << static_cast<int>(e.kind) << ' '
+       << (e.log_response ? 1 : 0) << ' ' << (e.clamp_negative ? 1 : 0) << ' '
+       << (e.has_fallbacks ? 1 : 0) << ' ' << (e.pl_is_linear ? 1 : 0) << ' '
+       << e.pl_scale << ' ' << e.pl_exp << ' ' << e.pl_x0 << ' ' << e.pl_y0
+       << "\n";
+    save_chain(os, e.chain);
+    e.glm.save(os);
+    e.mars.save(os);
+    e.loglin.save(os);
+  }
+  os << "info " << info_.size() << "\n";
+  for (const auto& i : info_) {
+    os << i.counter << ' ' << static_cast<int>(i.chosen) << ' ' << i.r2 << ' '
+       << i.residual_deviance << ' ' << i.cv_rmse << "\n";
+    save_chain(os, i.chain);
+  }
+}
+
+CounterModels CounterModels::load(std::istream& is) {
+  const int format_version = read_format_version(is, "bf_counter_models", 1);
+  (void)format_version;
+  CounterModels out;
+  std::size_t n_inputs = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> n_inputs) && n_inputs >= 1 &&
+                   n_inputs <= 64,
+               "bf_counter_models: bad input count");
+  out.inputs_.resize(n_inputs);
+  for (auto& name : out.inputs_) {
+    BF_CHECK_MSG(static_cast<bool>(is >> name),
+                 "bf_counter_models: truncated inputs");
+  }
+  int log_inputs = 0;
+  std::string tag;
+  std::size_t n_entries = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> log_inputs >> tag >> n_entries) &&
+                   tag == "entries" && n_entries <= 100'000,
+               "bf_counter_models: malformed entries header");
+  out.log_inputs_ = log_inputs != 0;
+  out.entries_.resize(n_entries);
+  for (auto& e : out.entries_) {
+    int kind = 0;
+    int log_response = 0;
+    int clamp_negative = 0;
+    int has_fallbacks = 0;
+    int pl_is_linear = 0;
+    BF_CHECK_MSG(static_cast<bool>(is >> e.counter >> kind >> log_response >>
+                                   clamp_negative >> has_fallbacks >>
+                                   pl_is_linear >> e.pl_scale >> e.pl_exp >>
+                                   e.pl_x0 >> e.pl_y0),
+                 "bf_counter_models: truncated entry");
+    e.kind = kind_from_code(kind);
+    e.log_response = log_response != 0;
+    e.clamp_negative = clamp_negative != 0;
+    e.has_fallbacks = has_fallbacks != 0;
+    e.pl_is_linear = pl_is_linear != 0;
+    e.chain = load_chain(is);
+    BF_CHECK_MSG(e.chain.front() == e.kind,
+                 "bf_counter_models: chain head disagrees with primary for "
+                     << e.counter);
+    e.glm = ml::Glm::load(is);
+    e.mars = ml::Mars::load(is);
+    e.loglin = ml::Glm::load(is);
+  }
+  std::size_t n_info = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> tag >> n_info) && tag == "info" &&
+                   n_info == n_entries,
+               "bf_counter_models: malformed info header");
+  out.info_.resize(n_info);
+  for (auto& i : out.info_) {
+    int chosen = 0;
+    BF_CHECK_MSG(static_cast<bool>(is >> i.counter >> chosen >> i.r2 >>
+                                   i.residual_deviance >> i.cv_rmse),
+                 "bf_counter_models: truncated info record");
+    i.chosen = kind_from_code(chosen);
+    i.chain = load_chain(is);
+  }
+  return out;
 }
 
 }  // namespace bf::core

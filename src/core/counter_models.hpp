@@ -15,6 +15,7 @@
 // model can feed a negative counter value to the forest.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -109,6 +110,11 @@ class CounterModels {
   const std::vector<std::string>& inputs() const { return inputs_; }
   /// Mean training R^2 across counters (the paper quotes 0.99 for NW).
   double average_r2() const;
+
+  /// Serialise every fitted entry (primary + fallback chain) and its
+  /// quality record; a reloaded CounterModels predicts bit-identically.
+  void save(std::ostream& os) const;
+  static CounterModels load(std::istream& is);
 
  private:
   struct Entry {

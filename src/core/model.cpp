@@ -1,8 +1,11 @@
 #include "core/model.hpp"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 
 #include "common/error.hpp"
+#include "common/io.hpp"
 #include "ml/metrics.hpp"
 #include "profiling/sweep.hpp"
 
@@ -97,6 +100,37 @@ BlackForestModel BlackForestModel::refit_with(
 std::vector<double> BlackForestModel::predict(const ml::Dataset& ds) const {
   const linalg::Matrix x = ds.to_matrix(predictors_);
   return forest_.predict(x);  // bf-lint: allow(guarded-predict)
+}
+
+void BlackForestModel::save(std::ostream& os) const {
+  BF_CHECK_MSG(forest_.fitted(), "save on unfitted model");
+  os.precision(17);
+  os << "bf_model 1\n";
+  os << predictors_.size();
+  for (const auto& p : predictors_) os << ' ' << p;
+  os << "\n";
+  os << test_mse_ << ' ' << test_explained_var_ << "\n";
+  forest_.save(os);
+}
+
+BlackForestModel BlackForestModel::load(std::istream& is) {
+  const int format_version = read_format_version(is, "bf_model", 1);
+  (void)format_version;
+  BlackForestModel model;
+  std::size_t n = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> n) && n >= 1 && n <= 100'000,
+               "bf_model: bad predictor count");
+  model.predictors_.resize(n);
+  for (auto& p : model.predictors_) {
+    BF_CHECK_MSG(static_cast<bool>(is >> p), "bf_model: truncated predictors");
+  }
+  BF_CHECK_MSG(
+      static_cast<bool>(is >> model.test_mse_ >> model.test_explained_var_),
+      "bf_model: truncated statistics");
+  model.forest_ = ml::RandomForest::load(is);
+  BF_CHECK_MSG(model.forest_.feature_names() == model.predictors_,
+               "bf_model: forest features disagree with predictor list");
+  return model;
 }
 
 }  // namespace bf::core

@@ -8,6 +8,7 @@
 // "time_ms" is the response.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,13 @@ class BlackForestModel {
   /// Predict times for rows of a dataset that contains (at least) the
   /// model's predictor columns.
   std::vector<double> predict(const ml::Dataset& ds) const;
+
+  /// Serialise the fitted model for .bfmodel bundles: forest, predictor
+  /// names and held-out statistics. The train/test datasets are NOT
+  /// stored — a loaded model predicts (bit-identically) but cannot be
+  /// refit; train_data()/test_data() on it are empty.
+  void save(std::ostream& os) const;
+  static BlackForestModel load(std::istream& is);
 
  private:
   ml::RandomForest forest_;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
 #include <limits>
+#include <ostream>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/io.hpp"
 #include "gpusim/arch.hpp"
 #include "guard/physical.hpp"
 #include "ml/metrics.hpp"
@@ -288,6 +291,73 @@ PredictionSeries ProblemScalingPredictor::validate(
   }
   series.guard.predictions = std::move(recs);
   return series;
+}
+
+void ProblemScalingPredictor::save(std::ostream& os) const {
+  os.precision(17);
+  os << "bf_psp 1\n";
+  // The architecture is stored by name and re-resolved from the compiled
+  // registry on load: physical caps derive from the spec, so name-based
+  // lookup keeps capped predictions identical across export/reload.
+  os << "arch " << (arch_ ? arch_->name : std::string("-")) << "\n";
+  os << "retained " << retained_.size();
+  for (const auto& name : retained_) os << ' ' << name;
+  os << "\n";
+  os << "envelope " << train_max_.size() << ' ' << max_train_size_ << "\n";
+  for (std::size_t e = 0; e < train_max_.size(); ++e) {
+    os << train_max_[e] << ' ' << train_at_max_size_[e] << ' '
+       << (monotone_[e] ? 1 : 0) << "\n";
+  }
+  guard::save_options(os, guard_);
+  hull_.save(os);
+  counters_.save(os);
+  reduced_.save(os);
+}
+
+ProblemScalingPredictor ProblemScalingPredictor::load(std::istream& is) {
+  const int format_version = read_format_version(is, "bf_psp", 1);
+  (void)format_version;
+  ProblemScalingPredictor p;
+  std::string tag;
+  std::string arch_name;
+  BF_CHECK_MSG(static_cast<bool>(is >> tag >> arch_name) && tag == "arch",
+               "bf_psp: malformed arch record");
+  if (arch_name != "-") {
+    // Throws for unknown names: a bundle trained against an architecture
+    // this binary does not know cannot reproduce its physical caps.
+    p.arch_ = gpusim::arch_by_name(arch_name);
+  }
+  std::size_t n_retained = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> tag >> n_retained) &&
+                   tag == "retained" && n_retained >= 1 &&
+                   n_retained <= 100'000,
+               "bf_psp: malformed retained header");
+  p.retained_.resize(n_retained);
+  for (auto& name : p.retained_) {
+    BF_CHECK_MSG(static_cast<bool>(is >> name),
+                 "bf_psp: truncated retained list");
+  }
+  std::size_t n_env = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> tag >> n_env >> p.max_train_size_) &&
+                   tag == "envelope",
+               "bf_psp: malformed envelope header");
+  p.train_max_.resize(n_env);
+  p.train_at_max_size_.resize(n_env);
+  p.monotone_.resize(n_env);
+  for (std::size_t e = 0; e < n_env; ++e) {
+    int monotone = 0;
+    BF_CHECK_MSG(static_cast<bool>(is >> p.train_max_[e] >>
+                                   p.train_at_max_size_[e] >> monotone),
+                 "bf_psp: truncated envelope");
+    p.monotone_[e] = monotone != 0;
+  }
+  p.guard_ = guard::load_options(is);
+  p.hull_ = guard::DomainGuard::load(is);
+  p.counters_ = CounterModels::load(is);
+  p.reduced_ = BlackForestModel::load(is);
+  BF_CHECK_MSG(p.counters_.num_entries() == n_env,
+               "bf_psp: envelope count disagrees with counter models");
+  return p;
 }
 
 // ---- Hardware scaling ----

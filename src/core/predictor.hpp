@@ -15,6 +15,7 @@
 // exist on both.
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -90,6 +91,14 @@ class ProblemScalingPredictor {
   const bf::guard::DomainGuard& hull() const { return hull_; }
   /// Fit-time guard skeleton (hull + per-counter chain records).
   bf::guard::GuardReport guard_report() const;
+
+  /// Serialise the complete prediction state (reduced model, counter
+  /// chains, hull, guard thresholds, sanity envelopes, architecture) —
+  /// the payload of a .bfmodel bundle. The full-variable comparison
+  /// model is fit-time-only and is NOT stored: a loaded predictor
+  /// predicts bit-identically but full_model() is empty.
+  void save(std::ostream& os) const;
+  static ProblemScalingPredictor load(std::istream& is);
 
  private:
   BlackForestModel full_;

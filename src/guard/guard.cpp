@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/io.hpp"
 
 namespace bf::guard {
 
@@ -171,6 +174,55 @@ Grade grade_prediction(const PredictionGuardRecord& rec,
   }
   if (!rec.clamps.empty()) g = worse(g, Grade::kC);
   return g;
+}
+
+void DomainGuard::save(std::ostream& os) const {
+  os.precision(17);
+  os << "bf_hull 1\n";
+  os << margin_ << ' ' << ranges_.size() << "\n";
+  for (const auto& r : ranges_) {
+    os << r.name << ' ' << r.lo << ' ' << r.hi << "\n";
+  }
+}
+
+DomainGuard DomainGuard::load(std::istream& is) {
+  const int format_version = read_format_version(is, "bf_hull", 1);
+  (void)format_version;
+  DomainGuard g;
+  std::size_t n = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> g.margin_ >> n),
+               "malformed bf_hull record");
+  BF_CHECK_MSG(n <= 100'000, "bf_hull: implausible range count");
+  g.ranges_.resize(n);
+  for (auto& r : g.ranges_) {
+    BF_CHECK_MSG(static_cast<bool>(is >> r.name >> r.lo >> r.hi),
+                 "bf_hull: truncated range");
+    BF_CHECK_MSG(r.lo <= r.hi, "bf_hull: inverted range for " << r.name);
+  }
+  return g;
+}
+
+void save_options(std::ostream& os, const GuardOptions& options) {
+  os.precision(17);
+  os << "bf_guard_options 1\n";
+  os << (options.enabled ? 1 : 0) << ' ' << options.margin << ' '
+     << options.far << ' ' << options.interval_b << ' ' << options.interval_c
+     << ' ' << options.demote_slack << ' ' << options.monotone_floor << ' '
+     << options.cap_tolerance << ' ' << options.cv_folds << "\n";
+}
+
+GuardOptions load_options(std::istream& is) {
+  const int format_version = read_format_version(is, "bf_guard_options", 1);
+  (void)format_version;
+  GuardOptions o;
+  int enabled = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> enabled >> o.margin >> o.far >>
+                                 o.interval_b >> o.interval_c >>
+                                 o.demote_slack >> o.monotone_floor >>
+                                 o.cap_tolerance >> o.cv_folds),
+               "malformed bf_guard_options record");
+  o.enabled = enabled != 0;
+  return o;
 }
 
 }  // namespace bf::guard

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -113,6 +114,10 @@ class DomainGuard {
   std::vector<ExtrapolationFlag> check_row(const ml::Dataset& ds,
                                            std::size_t row) const;
 
+  /// Serialise the hull (ranges + margin) for .bfmodel bundles.
+  void save(std::ostream& os) const;
+  static DomainGuard load(std::istream& is);
+
  private:
   std::vector<FeatureRange> ranges_;
   double margin_ = 0.1;
@@ -170,5 +175,10 @@ struct GuardReport {
 /// Grade one prediction record from its accumulated evidence.
 Grade grade_prediction(const PredictionGuardRecord& rec,
                        const GuardOptions& options);
+
+/// Serialise/restore the guard thresholds so a reloaded .bfmodel bundle
+/// grades predictions exactly as the exporting predictor did.
+void save_options(std::ostream& os, const GuardOptions& options);
+GuardOptions load_options(std::istream& is);
 
 }  // namespace bf::guard

@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/io.hpp"
 #include "common/thread_pool.hpp"
 #include "ml/metrics.hpp"
 
@@ -414,11 +415,9 @@ void RandomForest::save_file(const std::string& path) const {
 
 RandomForest RandomForest::load(std::istream& is) {
   RandomForest rf;
+  const int format_version = read_format_version(is, "bf_forest", 1);
+  (void)format_version;
   std::string tag;
-  int version = 0;
-  BF_CHECK_MSG(static_cast<bool>(is >> tag >> version) &&
-                   tag == "bf_forest" && version == 1,
-               "not a bf_forest v1 stream");
   std::size_t p = 0;
   BF_CHECK_MSG(static_cast<bool>(is >> tag >> p) && tag == "features",
                "malformed features header");

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "common/error.hpp"
+#include "common/io.hpp"
 #include "linalg/solve.hpp"
 #include "ml/metrics.hpp"
 
@@ -133,6 +136,44 @@ std::vector<double> Glm::predict(const linalg::Matrix& x) const {
 double Glm::r_squared() const {
   if (null_deviance_ <= 0.0) return 0.0;
   return 1.0 - residual_deviance_ / null_deviance_;
+}
+
+void Glm::save(std::ostream& os) const {
+  // An unfitted GLM (coef count 0) is a legal record: counter-model
+  // entries only fit the members their chain actually uses.
+  os.precision(17);
+  os << "bf_glm 1\n";
+  os << (params_.link == LinkFunction::kLog ? 1 : 0) << ' ' << params_.degree
+     << ' ' << (params_.log_terms ? 1 : 0) << ' ' << params_.max_irls_iter
+     << ' ' << params_.irls_tol << "\n";
+  os << num_inputs_ << ' ' << coef_.size();
+  for (const double c : coef_) os << ' ' << c;
+  os << ' ' << residual_deviance_ << ' ' << null_deviance_ << "\n";
+}
+
+Glm Glm::load(std::istream& is) {
+  const int format_version = read_format_version(is, "bf_glm", 1);
+  (void)format_version;
+  Glm g;
+  int link = 0;
+  int log_terms = 0;
+  std::size_t ncoef = 0;
+  BF_CHECK_MSG(static_cast<bool>(is >> link >> g.params_.degree >> log_terms >>
+                                 g.params_.max_irls_iter >>
+                                 g.params_.irls_tol >> g.num_inputs_ >> ncoef),
+               "malformed bf_glm record");
+  BF_CHECK_MSG(link == 0 || link == 1, "bf_glm: bad link code " << link);
+  g.params_.link = link == 1 ? LinkFunction::kLog : LinkFunction::kIdentity;
+  g.params_.log_terms = log_terms != 0;
+  BF_CHECK_MSG(ncoef <= 1'000'000, "bf_glm: implausible coefficient count");
+  g.coef_.resize(ncoef);
+  for (double& c : g.coef_) {
+    BF_CHECK_MSG(static_cast<bool>(is >> c), "bf_glm: truncated coefficients");
+  }
+  BF_CHECK_MSG(
+      static_cast<bool>(is >> g.residual_deviance_ >> g.null_deviance_),
+      "bf_glm: truncated deviance record");
+  return g;
 }
 
 }  // namespace bf::ml

@@ -8,6 +8,7 @@
 // the residual deviance the paper quotes for the MM counter models.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,11 @@ class Glm {
 
   const std::vector<double>& coefficients() const { return coef_; }
   bool fitted() const { return !coef_.empty(); }
+
+  /// Serialise the fitted model (basis parameters + coefficients) so a
+  /// .bfmodel bundle can round-trip it bit for bit.
+  void save(std::ostream& os) const;
+  static Glm load(std::istream& is);
 
  private:
   std::vector<double> expand_basis(const double* row,

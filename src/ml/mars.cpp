@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
 #include <limits>
+#include <ostream>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/io.hpp"
 #include "linalg/solve.hpp"
 #include "ml/metrics.hpp"
 
@@ -254,6 +257,56 @@ std::string Mars::to_string(const std::vector<std::string>& var_names) const {
     }
   }
   return os.str();
+}
+
+void Mars::save(std::ostream& os) const {
+  // An unfitted model (0 terms) is a legal record: counter-model entries
+  // only fit the members their chain actually uses.
+  os.precision(17);
+  os << "bf_mars 1\n";
+  os << params_.max_terms << ' ' << params_.max_degree << ' '
+     << params_.penalty << ' ' << params_.min_rss_improvement << ' '
+     << params_.max_knots_per_var << "\n";
+  os << num_inputs_ << ' ' << terms_.size() << ' ' << gcv_ << ' '
+     << r_squared_ << "\n";
+  for (std::size_t t = 0; t < terms_.size(); ++t) {
+    os << coef_[t] << ' ' << terms_[t].hinges.size();
+    for (const Hinge& h : terms_[t].hinges) {
+      os << ' ' << h.var << ' ' << h.knot << ' ' << h.direction;
+    }
+    os << "\n";
+  }
+}
+
+Mars Mars::load(std::istream& is) {
+  const int format_version = read_format_version(is, "bf_mars", 1);
+  (void)format_version;
+  Mars m;
+  std::size_t n_terms = 0;
+  BF_CHECK_MSG(
+      static_cast<bool>(is >> m.params_.max_terms >> m.params_.max_degree >>
+                        m.params_.penalty >> m.params_.min_rss_improvement >>
+                        m.params_.max_knots_per_var >> m.num_inputs_ >>
+                        n_terms >> m.gcv_ >> m.r_squared_),
+      "malformed bf_mars record");
+  BF_CHECK_MSG(n_terms <= 100'000, "bf_mars: implausible term count");
+  m.terms_.resize(n_terms);
+  m.coef_.resize(n_terms);
+  for (std::size_t t = 0; t < n_terms; ++t) {
+    std::size_t n_hinges = 0;
+    BF_CHECK_MSG(static_cast<bool>(is >> m.coef_[t] >> n_hinges),
+                 "bf_mars: truncated term header");
+    BF_CHECK_MSG(n_hinges <= 64, "bf_mars: implausible hinge count");
+    m.terms_[t].hinges.resize(n_hinges);
+    for (Hinge& h : m.terms_[t].hinges) {
+      BF_CHECK_MSG(static_cast<bool>(is >> h.var >> h.knot >> h.direction),
+                   "bf_mars: truncated hinge");
+      BF_CHECK_MSG(h.var < m.num_inputs_ && h.direction >= -1 &&
+                       h.direction <= 1,
+                   "bf_mars: hinge out of range");
+    }
+  }
+  return m;
 }
 
 }  // namespace bf::ml

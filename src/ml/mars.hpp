@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,11 @@ class Mars {
 
   /// Human-readable model, e.g. "3.2 + 1.4*h(x0-128) - 0.8*h(256-x1)".
   std::string to_string(const std::vector<std::string>& var_names = {}) const;
+
+  /// Serialise the fitted model (terms + coefficients) so a .bfmodel
+  /// bundle can round-trip it bit for bit.
+  void save(std::ostream& os) const;
+  static Mars load(std::istream& is);
 
  private:
   struct Hinge {

@@ -295,7 +295,9 @@ void RegressionTree::save(std::ostream& os) const {
   }
 }
 
-RegressionTree RegressionTree::load(std::istream& is) {
+// Trees are sub-records of a bf_forest stream; the enclosing forest
+// header carries the format_version for both.
+RegressionTree RegressionTree::load(std::istream& is) {  // bf-lint: allow(artifact-version)
   std::string tag;
   std::size_t count = 0;
   BF_CHECK_MSG(static_cast<bool>(is >> tag >> count) && tag == "tree",

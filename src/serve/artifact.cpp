@@ -1,0 +1,172 @@
+#include "serve/artifact.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/io.hpp"
+#include "common/version.hpp"
+
+namespace bf::serve {
+namespace {
+
+/// Collapse whitespace to '_' so meta fields stay single tokens.
+std::string tokenize_field(const std::string& s) {
+  std::string out = s.empty() ? std::string("-") : s;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  }
+  return out;
+}
+
+/// Move a corrupt bundle out of the registry's way. Rename is atomic;
+/// when it fails (cross-device, permissions) fall back to removal so a
+/// poisoned file cannot be retried forever.
+void quarantine(const std::string& path) {
+  const std::string target = path + ".quarantined";
+  if (std::rename(path.c_str(), target.c_str()) != 0) {
+    std::remove(path.c_str());
+  }
+}
+
+std::string payload_to_string(const ModelBundle& bundle) {
+  std::ostringstream os;
+  os << "bf_bundle_meta 1\n";
+  os << "name " << tokenize_field(bundle.meta.name) << "\n";
+  os << "workload " << tokenize_field(bundle.meta.workload) << "\n";
+  os << "arch " << tokenize_field(bundle.meta.arch) << "\n";
+  // Provenance is free text (version strings contain spaces); it is the
+  // one rest-of-line field in the format.
+  os << "provenance " << bundle.meta.provenance << "\n";
+  os << "trained_rows " << bundle.meta.trained_rows << "\n";
+  os << "schema " << bundle.meta.schema.size();
+  for (const auto& name : bundle.meta.schema) os << ' ' << name;
+  os << "\n";
+  bundle.predictor.save(os);
+  return os.str();
+}
+
+ModelBundle payload_from_string(const std::string& payload,
+                                const std::string& origin) {
+  std::istringstream is(payload);
+  const int format_version = read_format_version(is, "bf_bundle_meta", 1);
+  (void)format_version;
+  ModelBundle bundle;
+  std::string tag;
+  is >> tag >> bundle.meta.name;
+  BF_CHECK_MSG(is && tag == "name", origin << ": bad bundle meta (name)");
+  is >> tag >> bundle.meta.workload;
+  BF_CHECK_MSG(is && tag == "workload",
+               origin << ": bad bundle meta (workload)");
+  is >> tag >> bundle.meta.arch;
+  BF_CHECK_MSG(is && tag == "arch", origin << ": bad bundle meta (arch)");
+  is >> tag;
+  BF_CHECK_MSG(is && tag == "provenance",
+               origin << ": bad bundle meta (provenance)");
+  std::getline(is, bundle.meta.provenance);
+  if (!bundle.meta.provenance.empty() &&
+      bundle.meta.provenance.front() == ' ') {
+    bundle.meta.provenance.erase(0, 1);
+  }
+  is >> tag >> bundle.meta.trained_rows;
+  BF_CHECK_MSG(is && tag == "trained_rows",
+               origin << ": bad bundle meta (trained_rows)");
+  std::size_t n_schema = 0;
+  is >> tag >> n_schema;
+  BF_CHECK_MSG(is && tag == "schema" && n_schema <= 10'000,
+               origin << ": bad bundle meta (schema)");
+  bundle.meta.schema.resize(n_schema);
+  for (auto& name : bundle.meta.schema) {
+    is >> name;
+    BF_CHECK_MSG(is, origin << ": truncated bundle schema");
+  }
+  bundle.predictor = core::ProblemScalingPredictor::load(is);
+  // The schema must describe the model it travels with: retained
+  // counters drive the counter chains and the reduced forest inputs.
+  BF_CHECK_MSG(bundle.meta.schema == bundle.predictor.retained(),
+               origin << ": bundle schema does not match embedded model");
+  return bundle;
+}
+
+}  // namespace
+
+std::string bundle_to_string(const ModelBundle& bundle) {
+  const std::string payload = payload_to_string(bundle);
+  std::ostringstream os;
+  os << "bfmodel " << kBundleFormatVersion << "\n";
+  os << "bytes " << payload.size() << "\n";
+  os << "checksum fnv1a64 " << to_hex64(fnv1a64(payload)) << "\n";
+  os << payload;
+  return os.str();
+}
+
+ModelBundle bundle_from_string(const std::string& content,
+                               const std::string& origin) {
+  std::istringstream is(content);
+  const int format_version =
+      read_format_version(is, "bfmodel", kBundleFormatVersion);
+  (void)format_version;
+  std::string tag;
+  std::size_t payload_size = 0;
+  is >> tag >> payload_size;
+  BF_CHECK_MSG(is && tag == "bytes",
+               origin << ": bad bundle header (bytes)");
+  std::string algo;
+  std::string want_hex;
+  is >> tag >> algo >> want_hex;
+  BF_CHECK_MSG(is && tag == "checksum" && algo == "fnv1a64" &&
+                   want_hex.size() == 16,
+               origin << ": bad bundle header (checksum)");
+  // Exactly one newline separates the header from the payload; anything
+  // else would shift the byte count and is corruption.
+  BF_CHECK_MSG(is.get() == '\n', origin << ": bad bundle header framing");
+  std::string payload(payload_size, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  BF_CHECK_MSG(is.gcount() == static_cast<std::streamsize>(payload_size),
+               origin << ": truncated bundle payload (want " << payload_size
+                      << " bytes, got " << is.gcount() << ")");
+  const std::string got_hex = to_hex64(fnv1a64(payload));
+  BF_CHECK_MSG(got_hex == want_hex,
+               origin << ": bundle checksum mismatch (stored " << want_hex
+                      << ", computed " << got_hex << ")");
+  return payload_from_string(payload, origin);
+}
+
+void save_bundle(const std::string& path, const ModelBundle& bundle) {
+  atomic_write_file(path, bundle_to_string(bundle));
+}
+
+ModelBundle load_bundle(const std::string& path) {
+  auto content = read_file(path);
+  BF_CHECK_MSG(content.has_value(), "cannot open model bundle " << path);
+  if (fault::should_fire(fault::points::kServeArtifactBitrot) &&
+      !content->empty()) {
+    // Flip one bit mid-file — deep enough to land in the payload — to
+    // emulate storage rot between the writer and this reader.
+    (*content)[content->size() / 2] ^= 0x01;
+  }
+  try {
+    return bundle_from_string(*content, path);
+  } catch (const Error&) {
+    quarantine(path);
+    throw;
+  }
+}
+
+void export_model(const std::string& path, const std::string& name,
+                  const std::string& workload, const std::string& arch,
+                  std::size_t trained_rows,
+                  const core::ProblemScalingPredictor& predictor) {
+  ModelBundle bundle;
+  bundle.meta.name = name;
+  bundle.meta.workload = workload;
+  bundle.meta.arch = arch;
+  bundle.meta.provenance = version_string();
+  bundle.meta.trained_rows = trained_rows;
+  bundle.meta.schema = predictor.retained();
+  bundle.predictor = predictor;
+  save_bundle(path, bundle);
+}
+
+}  // namespace bf::serve

@@ -1,0 +1,81 @@
+// .bfmodel artifact bundles — the train-once / predict-many layer.
+//
+// A bundle serialises everything one problem-scaling prediction needs:
+// the reduced random forest, the per-counter fallback chains, the
+// DomainGuard training hull, guard thresholds, sanity envelopes and the
+// architecture whose physical caps clamp predictions — plus provenance
+// (who trained it, with which build) and a counter-name schema. The
+// on-disk format is a three-line header
+//
+//   bfmodel <format_version>
+//   bytes <payload_size>
+//   checksum fnv1a64 <hex64>
+//
+// followed by exactly `payload_size` payload bytes. The checksum covers
+// the payload, so truncation, bit rot and torn writes are all detected
+// on load; writes go through bf::atomic_write_file so readers never see
+// a partial bundle. A corrupt bundle is quarantined (renamed to
+// "<path>.quarantined", the run-repository convention) and the load
+// throws — the serving layer degrades to an error reply, never a crash.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/predictor.hpp"
+
+namespace bf::serve {
+
+/// Current writer version of the outer bundle format.
+inline constexpr int kBundleFormatVersion = 1;
+
+/// File suffix of model bundles ("reduce1.bfmodel").
+inline constexpr const char* kBundleSuffix = ".bfmodel";
+
+struct BundleMeta {
+  /// Model name (registry display key); sanitised to one token.
+  std::string name;
+  /// Workload and architecture the sweep was collected on.
+  std::string workload;
+  std::string arch;
+  /// Build identity of the exporter (bf::version_string()).
+  std::string provenance;
+  /// Rows of the training sweep.
+  std::size_t trained_rows = 0;
+  /// Counter-name schema: the reduced model's predictor columns, in
+  /// order. Validated against the embedded forest on load.
+  std::vector<std::string> schema;
+};
+
+struct ModelBundle {
+  BundleMeta meta;
+  core::ProblemScalingPredictor predictor;
+};
+
+/// Serialise a bundle to its full file content (header + payload).
+std::string bundle_to_string(const ModelBundle& bundle);
+
+/// Parse and validate bundle file content. `origin` names the source in
+/// diagnostics. Throws bf::Error on any validation failure (magic,
+/// version, checksum, truncation, schema mismatch).
+ModelBundle bundle_from_string(const std::string& content,
+                               const std::string& origin);
+
+/// Write a bundle atomically (temp file + rename).
+void save_bundle(const std::string& path, const ModelBundle& bundle);
+
+/// Read, verify and parse a bundle. Corrupt bundles are quarantined to
+/// "<path>.quarantined" before the error is thrown, so the next load
+/// attempt fails fast on a missing file instead of re-parsing garbage.
+/// The fault point serve.artifact.bitrot flips one payload byte between
+/// disk and the parser to prove that path works.
+ModelBundle load_bundle(const std::string& path);
+
+/// Convenience: assemble meta + predictor and save.
+void export_model(const std::string& path, const std::string& name,
+                  const std::string& workload, const std::string& arch,
+                  std::size_t trained_rows,
+                  const core::ProblemScalingPredictor& predictor);
+
+}  // namespace bf::serve

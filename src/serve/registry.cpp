@@ -1,0 +1,116 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+
+namespace bf::serve {
+
+ModelRegistry::ModelRegistry(std::string model_dir, std::size_t capacity)
+    : dir_(std::move(model_dir)), capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::string ModelRegistry::path_for(const std::string& name) const {
+  if (dir_.empty()) return name + kBundleSuffix;
+  const char last = dir_.back();
+  const std::string sep = (last == '/' || last == '\\') ? "" : "/";
+  return dir_ + sep + name + kBundleSuffix;
+}
+
+std::shared_ptr<const ModelBundle> ModelRegistry::get(
+    const std::string& name) {
+  Future future;
+  std::promise<std::shared_ptr<const ModelBundle>> promise;
+  std::uint64_t my_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      it->second.last_used = ++tick_;
+      future = it->second.future;
+    } else {
+      ++stats_.misses;
+      ++stats_.loads;
+      future = promise.get_future().share();
+      my_id = next_id_++;
+      Entry entry;
+      entry.future = future;
+      entry.last_used = ++tick_;
+      entry.id = my_id;
+      entries_.emplace(name, std::move(entry));
+    }
+  }
+
+  if (my_id != 0) {
+    // This thread won the single-flight race: perform the load outside
+    // the lock so concurrent gets for *other* models are not serialised
+    // behind disk I/O.
+    try {
+      BF_CHECK_MSG(!fault::should_fire(fault::points::kServeCacheLoadFail),
+                   "injected load failure for model " << name);
+      auto bundle =
+          std::make_shared<const ModelBundle>(load_bundle(path_for(name)));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(name);
+        if (it != entries_.end() && it->second.id == my_id) {
+          it->second.ready = true;
+        }
+        // Evict only once the load succeeded: a failed load must never
+        // push a good bundle out of the cache.
+        evict_locked();
+      }
+      promise.set_value(std::move(bundle));
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.failures;
+        auto it = entries_.find(name);
+        // Erase only our own entry — a later retry may already have
+        // replaced it.
+        if (it != entries_.end() && it->second.id == my_id) {
+          entries_.erase(it);
+        }
+      }
+      promise.set_exception(std::current_exception());
+    }
+  }
+
+  return future.get();  // rethrows the load error for every waiter
+}
+
+std::vector<std::string> ModelRegistry::resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.ready) names.push_back(name);
+  }
+  return names;
+}
+
+RegistryStats ModelRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ModelRegistry::evict_locked() {
+  while (entries_.size() > capacity_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.ready) continue;
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    // Everything over capacity is still loading: let the cache run hot
+    // rather than evicting an in-flight load.
+    if (victim == entries_.end()) return;
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace bf::serve

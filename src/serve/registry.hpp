@@ -1,0 +1,80 @@
+// Thread-safe model registry: the serving layer's bundle cache.
+//
+// get() resolves a model name to a loaded, immutable bundle. Loads are
+// single-flight — when N threads request a bundle that is not resident,
+// exactly one thread performs the disk load while the others wait on a
+// shared future, so a popular model is never parsed twice concurrently.
+// Resident bundles are evicted least-recently-used once the cache holds
+// more than `capacity` completed entries; shared_ptr ownership keeps an
+// evicted bundle alive for requests already holding it. A failed load
+// (missing file, corrupt bundle, injected serve.cache.load_fail fault)
+// propagates its error to every waiter and removes the cache entry, so
+// the next request for that name retries from disk instead of replaying
+// a stale failure forever.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/artifact.hpp"
+
+namespace bf::serve {
+
+struct RegistryStats {
+  std::uint64_t hits = 0;       ///< served from a resident entry
+  std::uint64_t misses = 0;     ///< entry not resident; a load started
+  std::uint64_t loads = 0;      ///< disk loads actually performed
+  std::uint64_t evictions = 0;  ///< LRU evictions
+  std::uint64_t failures = 0;   ///< loads that threw
+};
+
+class ModelRegistry {
+ public:
+  /// Bundles live in `model_dir` as "<name>.bfmodel". `capacity` bounds
+  /// the number of resident bundles (>= 1).
+  explicit ModelRegistry(std::string model_dir, std::size_t capacity = 8);
+
+  /// Resolve `name` to its loaded bundle, loading from disk on a miss.
+  /// Throws bf::Error when the bundle is missing or corrupt (corrupt
+  /// files are quarantined by the artifact layer).
+  std::shared_ptr<const ModelBundle> get(const std::string& name);
+
+  /// Disk path a model name resolves to.
+  std::string path_for(const std::string& name) const;
+
+  /// Names of resident (successfully loaded) bundles, sorted.
+  std::vector<std::string> resident() const;
+
+  RegistryStats stats() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using Future = std::shared_future<std::shared_ptr<const ModelBundle>>;
+
+  struct Entry {
+    Future future;
+    std::uint64_t last_used = 0;
+    std::uint64_t id = 0;  ///< identity for failure-path erasure
+    bool ready = false;    ///< set once the load completed successfully
+  };
+
+  /// Evict least-recently-used ready entries beyond capacity. Entries
+  /// still loading are never evicted (eviction mid-flight would let a
+  /// second load start and break single-flight accounting).
+  void evict_locked();
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t next_id_ = 1;
+  RegistryStats stats_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace bf::serve

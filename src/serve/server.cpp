@@ -1,0 +1,208 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "serve/json.hpp"
+
+namespace bf::serve {
+namespace {
+
+/// Render a scalar id value back into JSON so replies echo whatever key
+/// the client used (string, number, bool). Containers are not echoed.
+std::string render_id(const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::kString:
+      return "\"" + json_escape(v.str) + "\"";
+    case JsonValue::Type::kNumber:
+      return json_number(v.number);
+    case JsonValue::Type::kBool:
+      return v.boolean ? "true" : "false";
+    default:
+      return {};
+  }
+}
+
+std::string error_reply(const std::string& id_json, const std::string& what) {
+  std::ostringstream os;
+  os << '{';
+  if (!id_json.empty()) os << "\"id\":" << id_json << ',';
+  os << "\"ok\":false,\"error\":\"" << json_escape(what) << "\"}";
+  return os.str();
+}
+
+}  // namespace
+
+struct Server::Request {
+  bool valid = false;
+  std::string parse_error;
+  std::string cmd = "predict";
+  std::string model;
+  double size = 0.0;
+  std::string id_json;
+  std::shared_ptr<const ModelBundle> bundle;
+  std::string bundle_error;
+};
+
+Server::Server(const ServerOptions& options)
+    : registry_(options.model_dir, options.cache_capacity) {
+  if (options.threads > 0) {
+    owned_pool_ = std::make_unique<ThreadPool>(options.threads);
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = &ThreadPool::global();
+  }
+}
+
+Server::Request Server::parse_request(const std::string& line) const {
+  Request req;
+  JsonValue doc;
+  try {
+    doc = parse_json(line);
+  } catch (const std::exception& e) {
+    req.parse_error = e.what();
+    return req;
+  }
+  if (doc.type != JsonValue::Type::kObject) {
+    req.parse_error = "request must be a JSON object";
+    return req;
+  }
+  if (const JsonValue* id = doc.find("id")) req.id_json = render_id(*id);
+  if (const JsonValue* cmd = doc.find("cmd")) {
+    if (cmd->type != JsonValue::Type::kString) {
+      req.parse_error = "\"cmd\" must be a string";
+      return req;
+    }
+    req.cmd = cmd->str;
+  }
+  if (req.cmd == "stats") {
+    req.valid = true;
+    return req;
+  }
+  if (req.cmd != "predict") {
+    req.parse_error = "unknown cmd \"" + req.cmd + "\"";
+    return req;
+  }
+  const JsonValue* model = doc.find("model");
+  if (model == nullptr || model->type != JsonValue::Type::kString ||
+      model->str.empty()) {
+    req.parse_error = "predict needs a string \"model\"";
+    return req;
+  }
+  req.model = model->str;
+  const JsonValue* size = doc.find("size");
+  if (size == nullptr || size->type != JsonValue::Type::kNumber ||
+      !std::isfinite(size->number) || size->number <= 0.0) {
+    req.parse_error = "predict needs a finite positive \"size\"";
+    return req;
+  }
+  req.size = size->number;
+  req.valid = true;
+  return req;
+}
+
+std::string Server::serve_request(Request& req) {
+  if (!req.valid) return error_reply(req.id_json, req.parse_error);
+  if (req.cmd == "stats") return stats_reply();
+  if (req.bundle == nullptr) {
+    return error_reply(req.id_json, req.bundle_error.empty()
+                                        ? "model unavailable"
+                                        : req.bundle_error);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  guard::PredictionGuardRecord rec;
+  try {
+    rec = req.bundle->predictor.predict_guarded(req.size);
+  } catch (const std::exception& e) {
+    return error_reply(req.id_json, e.what());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double latency_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
+  std::ostringstream os;
+  os << '{';
+  if (!req.id_json.empty()) os << "\"id\":" << req.id_json << ',';
+  os << "\"ok\":true,\"model\":\"" << json_escape(req.model) << "\""
+     << ",\"size\":" << json_number(req.size)
+     << ",\"predicted_ms\":" << json_number(rec.value)
+     << ",\"interval_lo_ms\":" << json_number(rec.lo)
+     << ",\"interval_hi_ms\":" << json_number(rec.hi) << ",\"grade\":\""
+     << guard::grade_letter(rec.grade) << "\",\"extrapolated\":"
+     << (rec.extrapolated ? "true" : "false")
+     << ",\"latency_us\":" << json_number(latency_us) << '}';
+  return os.str();
+}
+
+std::string Server::stats_reply() const {
+  const RegistryStats s = registry_.stats();
+  std::ostringstream os;
+  os << "{\"ok\":true,\"cmd\":\"stats\",\"hits\":" << s.hits
+     << ",\"misses\":" << s.misses << ",\"loads\":" << s.loads
+     << ",\"evictions\":" << s.evictions << ",\"failures\":" << s.failures
+     << ",\"resident\":[";
+  bool first = true;
+  for (const auto& name : registry_.resident()) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << '"';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Server::handle_line(const std::string& line) {
+  std::vector<std::string> replies = handle_batch({line});
+  return replies.front();
+}
+
+std::vector<std::string> Server::handle_batch(
+    const std::vector<std::string>& lines) {
+  std::vector<Request> requests;
+  requests.reserve(lines.size());
+  for (const auto& line : lines) requests.push_back(parse_request(line));
+
+  // Resolve each distinct model once; the registry's single-flight path
+  // already dedupes, this just avoids redundant future round-trips and
+  // gives the whole batch one coherent bundle per model.
+  std::map<std::string, std::pair<std::shared_ptr<const ModelBundle>,
+                                  std::string>>
+      resolved;
+  for (const auto& req : requests) {
+    if (req.valid && req.cmd == "predict") resolved.emplace(req.model,
+        std::pair<std::shared_ptr<const ModelBundle>, std::string>{});
+  }
+  std::vector<std::string> names;
+  names.reserve(resolved.size());
+  for (const auto& [name, unused] : resolved) names.push_back(name);
+  pool_->parallel_for(0, names.size(), [&](std::size_t i) {
+    // find() keeps the concurrent map access read-only on the tree
+    // structure; each task writes only its own slot. Pool tasks must
+    // not throw: fold load errors into the reply text.
+    auto& slot = resolved.find(names[i])->second;
+    try {
+      slot.first = registry_.get(names[i]);
+    } catch (const std::exception& e) {
+      slot.second = e.what();
+    }
+  });
+
+  for (auto& req : requests) {
+    if (!req.valid || req.cmd != "predict") continue;
+    auto it = resolved.find(req.model);
+    req.bundle = it->second.first;
+    req.bundle_error = it->second.second;
+  }
+
+  std::vector<std::string> replies(requests.size());
+  pool_->parallel_for(0, requests.size(), [&](std::size_t i) {
+    replies[i] = serve_request(requests[i]);
+  });
+  return replies;
+}
+
+}  // namespace bf::serve

@@ -1,0 +1,63 @@
+// The bf_serve request broker: newline-delimited JSON in, newline-
+// delimited JSON out.
+//
+// Requests:
+//   {"cmd":"predict","model":"<name>","size":<n>,"id":<any>}   (cmd
+//     defaults to "predict" when omitted)
+//   {"cmd":"stats"}
+//
+// A predict reply carries the guarded prediction: predicted time, the
+// per-tree interval, the confidence grade and the request's service
+// latency. Every failure — unknown model, corrupt bundle, malformed
+// JSON — degrades to an {"ok":false,"error":...} reply on that line;
+// the server itself never dies on bad input and the cache stays
+// consistent. Batches are grouped per model (one registry resolution
+// per distinct model) and fanned across the thread pool, with replies
+// emitted in input order.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "serve/registry.hpp"
+
+namespace bf::serve {
+
+struct ServerOptions {
+  std::string model_dir = ".";
+  std::size_t cache_capacity = 8;
+  /// Worker threads for batch fan-out; 0 uses the process-global pool.
+  std::size_t threads = 0;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+
+  /// Serve one request line; always returns exactly one reply line
+  /// (without the trailing newline).
+  std::string handle_line(const std::string& line);
+
+  /// Serve a batch of request lines; replies are positionally aligned
+  /// with the inputs. Predict requests are grouped per model and run
+  /// concurrently on the pool.
+  std::vector<std::string> handle_batch(const std::vector<std::string>& lines);
+
+  ModelRegistry& registry() { return registry_; }
+
+ private:
+  struct Request;
+
+  Request parse_request(const std::string& line) const;
+  std::string serve_request(Request& req);
+  std::string stats_reply() const;
+
+  ModelRegistry registry_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
+};
+
+}  // namespace bf::serve

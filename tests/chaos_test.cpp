@@ -28,6 +28,9 @@
 #include "profiling/repository.hpp"
 #include "profiling/sweep.hpp"
 #include "profiling/workloads.hpp"
+#include "serve/artifact.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
 
 namespace bf {
 namespace {
@@ -480,6 +483,88 @@ TEST_F(Chaos, GuardedPredictionSurvivesModelDivergence) {
 
   // The divergence really fired; the demotion chain was exercised.
   EXPECT_GT(fault::stats(fault::points::kCounterModelDiverge).fired, 0u);
+}
+
+// ---- the serving layer under storage faults ----
+
+class ChaosServe : public Chaos {
+ protected:
+  void SetUp() override {
+    Chaos::SetUp();
+    dir_ = fs::temp_directory_path() /
+           ("bf_chaos_serve_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    // A tiny but real bundle: the smallest reduce1 predictor that still
+    // exercises every serialized section.
+    const gpusim::Device dev(gpusim::arch_by_name("gtx580"));
+    const ml::Dataset sweep_ds = profiling::sweep(
+        profiling::workload_by_name("reduce1"), dev,
+        profiling::log2_sizes(1 << 14, 1 << 20, 8, 256));
+    core::ProblemScalingOptions pso;
+    pso.model.forest.n_trees = 30;
+    pso.arch = gpusim::arch_by_name("gtx580");
+    serve::export_model(
+        (dir_ / "reduce1.bfmodel").string(), "reduce1", "reduce1", "gtx580",
+        8, core::ProblemScalingPredictor::build(sweep_ds, pso));
+  }
+  void TearDown() override {
+    fs::remove_all(dir_);
+    Chaos::TearDown();
+  }
+  fs::path dir_;
+};
+
+TEST_F(ChaosServe, BitrotQuarantinesBundleAndServerDegrades) {
+  serve::ServerOptions options;
+  options.model_dir = dir_.string();
+  serve::Server server(options);
+
+  // Every load sees one flipped payload byte: the checksum must catch
+  // it, the bundle is quarantined, and the server answers with an error
+  // reply instead of dying or caching garbage.
+  std::string error_reply;
+  {
+    const fault::ScopedFaults faults("serve.artifact.bitrot:1.0");
+    error_reply =
+        server.handle_line(R"({"model":"reduce1","size":65536,"id":7})");
+    EXPECT_GT(fault::stats(fault::points::kServeArtifactBitrot).fired, 0u);
+  }
+  const auto parsed = serve::parse_json(error_reply);
+  EXPECT_FALSE(parsed.find("ok")->boolean);
+  EXPECT_NE(parsed.find("error")->str.find("checksum"), std::string::npos);
+  EXPECT_FALSE(fs::exists(dir_ / "reduce1.bfmodel"));
+  EXPECT_TRUE(fs::exists(dir_ / "reduce1.bfmodel.quarantined"));
+
+  // The cache stayed consistent: nothing resident, the failure counted,
+  // and later requests still answer (with a clean miss error, since the
+  // bundle is gone from disk).
+  EXPECT_TRUE(server.registry().resident().empty());
+  EXPECT_EQ(server.registry().stats().failures, 1u);
+  const auto again = serve::parse_json(
+      server.handle_line(R"({"model":"reduce1","size":65536})"));
+  EXPECT_FALSE(again.find("ok")->boolean);
+}
+
+TEST_F(ChaosServe, TransientLoadFailureRecoversOnRetry) {
+  serve::ServerOptions options;
+  options.model_dir = dir_.string();
+  serve::Server server(options);
+
+  {
+    // One injected I/O failure, then the fault budget is spent.
+    const fault::ScopedFaults faults("serve.cache.load_fail:1.0:1");
+    const auto reply = serve::parse_json(
+        server.handle_line(R"({"model":"reduce1","size":65536})"));
+    EXPECT_FALSE(reply.find("ok")->boolean);
+  }
+  // Graceful degradation is transient: the failed entry was dropped, so
+  // the same request now loads the (intact) bundle and succeeds.
+  const auto reply = serve::parse_json(
+      server.handle_line(R"({"model":"reduce1","size":65536})"));
+  EXPECT_TRUE(reply.find("ok")->boolean);
+  EXPECT_GT(reply.find("predicted_ms")->number, 0.0);
+  EXPECT_EQ(server.registry().stats().failures, 1u);
+  EXPECT_EQ(server.registry().stats().loads, 2u);
 }
 
 // ---- size-grid hygiene (rides along with the failure policy) ----

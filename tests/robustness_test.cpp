@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "common/io.hpp"
 #include "core/counter_models.hpp"
 #include "core/model.hpp"
 #include "ml/dataset.hpp"
@@ -176,6 +177,40 @@ TEST_F(RepositoryRobustness, KeySanitisation) {
   EXPECT_TRUE(inside);
   EXPECT_FALSE(std::filesystem::exists(
       dir_.parent_path() / "evil name__arch_1.csv"));
+}
+
+// ---- atomic_write_file edge cases ----
+//
+// The crash-safe writer under every persisting layer (repository,
+// .bfmodel bundles, guard JSON): empty payloads, overwrites and bad
+// target directories must all behave predictably.
+
+using AtomicWriteRobustness = TempDir;
+
+TEST_F(AtomicWriteRobustness, EmptyPayloadWritesEmptyFile) {
+  const auto path = (dir_ / "empty.txt").string();
+  atomic_write_file(path, "");
+  ASSERT_TRUE(std::filesystem::exists(path));
+  EXPECT_EQ(std::filesystem::file_size(path), 0u);
+  EXPECT_EQ(*read_file(path), "");
+}
+
+TEST_F(AtomicWriteRobustness, OverwriteReplacesContentCompletely) {
+  const auto path = (dir_ / "entry.txt").string();
+  atomic_write_file(path, "the longer original content\n");
+  atomic_write_file(path, "short");
+  // Full replacement, no stale tail from the longer first version.
+  EXPECT_EQ(*read_file(path), "short");
+  // No temp file left behind by either write.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(AtomicWriteRobustness, MissingTargetDirectoryFailsCleanly) {
+  const auto path = (dir_ / "no" / "such" / "dir" / "entry.txt").string();
+  EXPECT_THROW(atomic_write_file(path, "payload"), Error);
+  // The failed write leaves nothing behind — no destination, no temp.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
 }
 
 // ---- dataset / CSV edge cases ----

@@ -1,0 +1,329 @@
+// The serving layer: .bfmodel artifact bundles (round-trip bit
+// identity, corruption quarantine), the LRU + single-flight model
+// registry, and the NDJSON request broker.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/io.hpp"
+#include "gpusim/arch.hpp"
+#include "profiling/sweep.hpp"
+#include "profiling/workloads.hpp"
+#include "serve/artifact.hpp"
+#include "serve/json.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+
+namespace bf {
+namespace {
+
+// One small trained predictor shared by every test in this binary: the
+// serving layer only reads it, and training dominates the runtime.
+const core::ProblemScalingPredictor& trained_predictor() {
+  static const core::ProblemScalingPredictor p = [] {
+    const gpusim::Device dev(gpusim::arch_by_name("gtx580"));
+    const ml::Dataset sweep = profiling::sweep(
+        profiling::workload_by_name("reduce1"), dev,
+        profiling::log2_sizes(1 << 14, 1 << 22, 12, 256));
+    core::ProblemScalingOptions pso;
+    pso.model.forest.n_trees = 60;
+    pso.arch = gpusim::arch_by_name("gtx580");
+    return core::ProblemScalingPredictor::build(sweep, pso);
+  }();
+  return p;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bf_serve_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string bundle_path(const std::string& name) const {
+    return (dir_ / (name + serve::kBundleSuffix)).string();
+  }
+
+  void export_named(const std::string& name) const {
+    serve::export_model(bundle_path(name), name, "reduce1", "gtx580", 12,
+                        trained_predictor());
+  }
+
+  std::filesystem::path dir_;
+};
+
+// ---- artifact bundles ----
+
+TEST_F(ServeTest, BundleRoundTripIsBitIdentical) {
+  export_named("reduce1");
+  const serve::ModelBundle loaded = serve::load_bundle(bundle_path("reduce1"));
+
+  const auto& original = trained_predictor();
+  // In-hull, boundary and extrapolated queries: the reloaded predictor
+  // must reproduce value, interval and grade bit for bit.
+  for (const double size : {20000.0, 65536.0, 262144.0, 4194304.0,
+                            16777216.0}) {
+    EXPECT_EQ(original.predict_time(size),
+              loaded.predictor.predict_time(size));
+    const auto a = original.predict_guarded(size);
+    const auto b = loaded.predictor.predict_guarded(size);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.raw_value, b.raw_value);
+    EXPECT_EQ(a.lo, b.lo);
+    EXPECT_EQ(a.hi, b.hi);
+    EXPECT_EQ(a.grade, b.grade);
+    EXPECT_EQ(a.extrapolated, b.extrapolated);
+    EXPECT_EQ(a.demotions, b.demotions);
+    EXPECT_EQ(a.clamps, b.clamps);
+  }
+}
+
+TEST_F(ServeTest, BundleMetaSurvivesRoundTrip) {
+  export_named("reduce1");
+  const serve::ModelBundle loaded = serve::load_bundle(bundle_path("reduce1"));
+  EXPECT_EQ(loaded.meta.name, "reduce1");
+  EXPECT_EQ(loaded.meta.workload, "reduce1");
+  EXPECT_EQ(loaded.meta.arch, "gtx580");
+  EXPECT_EQ(loaded.meta.trained_rows, 12u);
+  // Provenance carries the build identity of the exporter.
+  EXPECT_NE(loaded.meta.provenance.find("blackforest"), std::string::npos);
+  EXPECT_EQ(loaded.meta.schema, trained_predictor().retained());
+}
+
+TEST_F(ServeTest, CorruptBundleIsQuarantined) {
+  export_named("reduce1");
+  const std::string path = bundle_path("reduce1");
+  // Flip one payload byte on disk — the checksum must catch it.
+  std::string content = *read_file(path);
+  content[content.size() - 10] ^= 0x04;
+  std::ofstream(path, std::ios::binary) << content;
+
+  EXPECT_THROW(serve::load_bundle(path), Error);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".quarantined"));
+}
+
+TEST_F(ServeTest, BadMagicAndFutureVersionAreRejected) {
+  EXPECT_THROW(serve::bundle_from_string("bogus 1\n", "t"), Error);
+  EXPECT_THROW(serve::bundle_from_string("bfmodel 2\nbytes 0\n"
+                                         "checksum fnv1a64 cbf29ce484222325\n",
+                                         "t"),
+               Error);
+  EXPECT_THROW(serve::bundle_from_string("", "t"), Error);
+}
+
+TEST_F(ServeTest, TruncatedBundleIsRejected) {
+  export_named("reduce1");
+  const std::string content = *read_file(bundle_path("reduce1"));
+  const std::string truncated = content.substr(0, content.size() / 2);
+  EXPECT_THROW(serve::bundle_from_string(truncated, "t"), Error);
+}
+
+TEST_F(ServeTest, MissingBundleIsNotQuarantined) {
+  const std::string path = bundle_path("ghost");
+  EXPECT_THROW(serve::load_bundle(path), Error);
+  EXPECT_FALSE(std::filesystem::exists(path + ".quarantined"));
+}
+
+// ---- model registry ----
+
+TEST_F(ServeTest, RegistryHitsMissesAndEviction) {
+  export_named("a");
+  export_named("b");
+  export_named("c");
+  serve::ModelRegistry registry(dir_.string(), 2);
+
+  const auto a1 = registry.get("a");
+  const auto a2 = registry.get("a");
+  ASSERT_NE(a1, nullptr);
+  EXPECT_EQ(a1.get(), a2.get());  // resident: same object, no reload
+  registry.get("b");
+  EXPECT_EQ(registry.stats().loads, 2u);
+  EXPECT_EQ(registry.stats().evictions, 0u);
+
+  // Capacity 2: loading "c" evicts the least recently used ("a").
+  registry.get("c");
+  EXPECT_EQ(registry.stats().evictions, 1u);
+  const auto resident = registry.resident();
+  EXPECT_EQ(resident, (std::vector<std::string>{"b", "c"}));
+
+  // An evicted bundle reloads from disk; the old shared_ptr stays valid.
+  registry.get("a");
+  EXPECT_EQ(registry.stats().loads, 4u);
+  EXPECT_EQ(a1->meta.name, "a");
+}
+
+TEST_F(ServeTest, RegistryLRUSingleFlight) {
+  export_named("a");
+  export_named("b");
+  serve::ModelRegistry registry(dir_.string(), 2);
+
+  // N threads hammer two resident-capacity bundles concurrently: the
+  // single-flight path must perform exactly one disk load per bundle,
+  // every get must succeed, and every thread must see the same objects.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &failures, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::string name = ((t + i) % 2 == 0) ? "a" : "b";
+        try {
+          const auto bundle = registry.get(name);
+          if (bundle == nullptr || bundle->meta.name != name) ++failures;
+        } catch (const std::exception&) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = registry.stats();
+  EXPECT_EQ(stats.loads, 2u);  // exactly one load per resident bundle
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads * kIters));
+}
+
+TEST_F(ServeTest, RegistryFailedLoadRetriesCleanly) {
+  export_named("a");
+  serve::ModelRegistry registry(dir_.string(), 2);
+
+  {
+    fault::ScopedFaults faults("serve.cache.load_fail:1.0:1");
+    EXPECT_THROW(registry.get("a"), Error);
+  }
+  // The failed entry was removed: the cache is consistent and the next
+  // request retries the disk load and succeeds.
+  EXPECT_TRUE(registry.resident().empty());
+  EXPECT_EQ(registry.stats().failures, 1u);
+  const auto bundle = registry.get("a");
+  ASSERT_NE(bundle, nullptr);
+  EXPECT_EQ(bundle->meta.name, "a");
+  EXPECT_EQ(registry.stats().loads, 2u);
+}
+
+// ---- the request broker ----
+
+TEST_F(ServeTest, ServerBatchCoversHitMissErrorAndStats) {
+  export_named("reduce1");
+  // Plant a corrupt bundle next to the good one.
+  export_named("broken");
+  {
+    std::string content = *read_file(bundle_path("broken"));
+    content[content.size() - 10] ^= 0x04;
+    std::ofstream(bundle_path("broken"), std::ios::binary) << content;
+  }
+
+  serve::ServerOptions options;
+  options.model_dir = dir_.string();
+  options.cache_capacity = 2;
+  options.threads = 4;
+  serve::Server server(options);
+
+  const auto replies = server.handle_batch({
+      R"({"model":"reduce1","size":65536,"id":1})",
+      R"({"model":"reduce1","size":262144,"id":"two"})",
+      R"({"model":"ghost","size":64,"id":3})",
+      R"({"model":"broken","size":64,"id":4})",
+      R"(this is not json)",
+      R"({"cmd":"nonsense"})",
+      R"({"model":"reduce1","size":-5})",
+      R"({"cmd":"stats"})",
+  });
+  ASSERT_EQ(replies.size(), 8u);
+
+  const auto r0 = serve::parse_json(replies[0]);
+  EXPECT_TRUE(r0.find("ok")->boolean);
+  EXPECT_EQ(r0.find("id")->number, 1.0);
+  EXPECT_EQ(r0.find("model")->str, "reduce1");
+  EXPECT_EQ(r0.find("predicted_ms")->number,
+            trained_predictor().predict_guarded(65536).value);
+  EXPECT_GT(r0.find("latency_us")->number, 0.0);
+  const std::string grade = r0.find("grade")->str;
+  EXPECT_TRUE(grade == "A" || grade == "B" || grade == "C");
+
+  const auto r1 = serve::parse_json(replies[1]);
+  EXPECT_TRUE(r1.find("ok")->boolean);
+  EXPECT_EQ(r1.find("id")->str, "two");
+
+  for (const std::size_t bad : {2u, 3u, 4u, 5u, 6u}) {
+    const auto r = serve::parse_json(replies[bad]);
+    EXPECT_FALSE(r.find("ok")->boolean) << replies[bad];
+    EXPECT_FALSE(r.find("error")->str.empty());
+  }
+
+  // The corrupt bundle was quarantined; the cache holds only the good
+  // model and the failed load is accounted for.
+  EXPECT_TRUE(std::filesystem::exists(bundle_path("broken") +
+                                      ".quarantined"));
+  const auto stats = serve::parse_json(replies[7]);
+  EXPECT_TRUE(stats.find("ok")->boolean);
+  EXPECT_EQ(stats.find("failures")->number, 2.0);  // ghost + broken
+  ASSERT_EQ(stats.find("resident")->array.size(), 1u);
+  EXPECT_EQ(stats.find("resident")->array[0].str, "reduce1");
+}
+
+TEST_F(ServeTest, ServerReplyIsBitIdenticalToDirectPrediction) {
+  export_named("reduce1");
+  serve::ServerOptions options;
+  options.model_dir = dir_.string();
+  serve::Server server(options);
+
+  const auto reply = server.handle_line(
+      R"({"model":"reduce1","size":131072})");
+  const auto parsed = serve::parse_json(reply);
+  const auto direct = trained_predictor().predict_guarded(131072);
+  EXPECT_EQ(parsed.find("predicted_ms")->number, direct.value);
+  EXPECT_EQ(parsed.find("interval_lo_ms")->number, direct.lo);
+  EXPECT_EQ(parsed.find("interval_hi_ms")->number, direct.hi);
+}
+
+// ---- the JSON codec ----
+
+TEST(ServeJson, ParsesEscapesAndRejectsGarbage) {
+  const auto v = serve::parse_json(
+      R"({"s":"a\"b\nA","n":-1.5e3,"b":true,"z":null,"arr":[1,2]})");
+  EXPECT_EQ(v.find("s")->str, "a\"b\nA");
+  EXPECT_EQ(v.find("n")->number, -1500.0);
+  EXPECT_TRUE(v.find("b")->boolean);
+  EXPECT_TRUE(v.find("z")->is_null());
+  EXPECT_EQ(v.find("arr")->array.size(), 2u);
+  EXPECT_EQ(v.find("missing"), nullptr);
+
+  EXPECT_THROW(serve::parse_json("{"), Error);
+  EXPECT_THROW(serve::parse_json("{} trailing"), Error);
+  EXPECT_THROW(serve::parse_json("{\"k\":12garbage}"), Error);
+  EXPECT_THROW(serve::parse_json("'single'"), Error);
+}
+
+TEST(ServeJson, EscapeAndNumberRoundTrip) {
+  EXPECT_EQ(serve::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(serve::json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(serve::json_number(0.5), "0.5");
+  const double v = 0.024005629469124646;
+  EXPECT_EQ(serve::parse_json(serve::json_number(v)).number, v);
+  EXPECT_EQ(serve::json_number(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+}
+
+}  // namespace
+}  // namespace bf

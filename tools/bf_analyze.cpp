@@ -18,6 +18,7 @@
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/string_util.hpp"
+#include "common/version.hpp"
 #include "core/pipeline.hpp"
 #include "core/predictor.hpp"
 #include "gpusim/arch.hpp"
@@ -27,6 +28,7 @@
 #include "profiling/workloads.hpp"
 #include "report/ascii.hpp"
 #include "report/guard_render.hpp"
+#include "serve/artifact.hpp"
 
 namespace {
 
@@ -59,7 +61,13 @@ void usage() {
       "                    modelling: sweeps the workload (or, with\n"
       "                    --repo, every stored sweep) and reports rule\n"
       "                    violations; exits non-zero on any\n"
-      "  --list            list workloads and architectures\n");
+      "  --export-model P  train the problem-scaling predictor and write\n"
+      "                    it as a .bfmodel bundle to P (serve it later\n"
+      "                    with bf_serve or --from-model)\n"
+      "  --from-model P    skip sweeping/training: load the bundle at P\n"
+      "                    and answer --predict queries from it\n"
+      "  --list            list workloads and architectures\n"
+      "  --version         print the build identity and exit\n");
 }
 
 struct Args {
@@ -80,6 +88,8 @@ struct Args {
   bool strict_guard = false;
   bool no_guard = false;
   std::string guard_json;
+  std::string export_model;
+  std::string from_model;
   bool list = false;
   bool check = false;
 };
@@ -126,10 +136,17 @@ Args parse(int argc, char** argv) {
       args.guard_json = next();
     } else if (a == "--repo") {
       args.repo = next();
+    } else if (a == "--export-model") {
+      args.export_model = next();
+    } else if (a == "--from-model") {
+      args.from_model = next();
     } else if (a == "--list") {
       args.list = true;
     } else if (a == "--check") {
       args.check = true;
+    } else if (a == "--version") {
+      std::printf("%s\n", bf::version_string().c_str());
+      std::exit(0);
     } else if (a == "--help" || a == "-h") {
       usage();
       std::exit(0);
@@ -242,6 +259,46 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (!args.from_model.empty()) {
+      // Serve predictions straight from a trained bundle: no sweep, no
+      // forest training — the train-once / predict-many path.
+      const serve::ModelBundle bundle = serve::load_bundle(args.from_model);
+      std::printf("model %s (workload %s, arch %s, %zu training rows)\n",
+                  bundle.meta.name.c_str(), bundle.meta.workload.c_str(),
+                  bundle.meta.arch.c_str(), bundle.meta.trained_rows);
+      std::printf("trained by %s\n\n", bundle.meta.provenance.c_str());
+      BF_CHECK_MSG(!args.predict.empty(),
+                   "--from-model needs at least one --predict size");
+      std::printf("problem-scaling predictions:\n");
+      if (args.no_guard) {
+        for (const double s : args.predict) {
+          std::printf("  size %-10g -> %.4f ms\n", s,
+                      bundle.predictor.predict_time(s));
+        }
+        return 0;
+      }
+      guard::GuardReport report = bundle.predictor.guard_report();
+      for (const double s : args.predict) {
+        const auto rec = bundle.predictor.predict_guarded(s);
+        std::printf("  size %-10g -> %.4f ms  [%.4f, %.4f]  grade %c%s\n", s,
+                    rec.value, rec.lo, rec.hi, guard::grade_letter(rec.grade),
+                    rec.extrapolated ? "  (extrapolated)" : "");
+        report.predictions.push_back(rec);
+      }
+      std::printf("\n%s", report::guard_text(report).c_str());
+      if (!args.guard_json.empty()) {
+        report::export_guard_json(args.guard_json, report);
+        std::printf("guard report written to %s\n", args.guard_json.c_str());
+      }
+      if (args.strict_guard && report.count(guard::Grade::kC) > 0) {
+        std::fprintf(stderr,
+                     "bf_analyze: --strict-guard: %zu prediction(s) graded C\n",
+                     report.count(guard::Grade::kC));
+        return 2;
+      }
+      return 0;
+    }
+
     // The workload's size-granularity constraint applies regardless of
     // whether the range itself was overridden on the command line.
     double lo = 0;
@@ -291,7 +348,7 @@ int main(int argc, char** argv) {
                     .c_str());
     std::printf("%s\n", core::to_text(outcome.report).c_str());
 
-    if (!args.predict.empty()) {
+    if (!args.predict.empty() || !args.export_model.empty()) {
       core::ProblemScalingOptions pso;
       pso.model.forest.n_trees = static_cast<std::size_t>(args.trees);
       pso.guard.enabled = !args.no_guard;
@@ -299,6 +356,13 @@ int main(int argc, char** argv) {
       pso.arch = config.arch;
       const auto predictor =
           core::ProblemScalingPredictor::build(outcome.data, pso);
+      if (!args.export_model.empty()) {
+        serve::export_model(args.export_model, args.workload, args.workload,
+                            args.arch, outcome.data.num_rows(), predictor);
+        std::printf("model bundle written to %s\n",
+                    args.export_model.c_str());
+        if (args.predict.empty()) return 0;
+      }
       std::printf("problem-scaling predictions:\n");
       if (args.no_guard) {
         for (const double s : args.predict) {

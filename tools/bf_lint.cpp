@@ -20,6 +20,12 @@
 //                   tools/, bypassing the guard layer's supervised entry
 //                   points (ProblemScalingPredictor::predict_guarded,
 //                   CounterModels::predict_kind)
+//   artifact-version a serialized-struct reader (a load(std::istream&)
+//                   definition) that parses fields without first
+//                   checking the format version; readers must call
+//                   bf::read_format_version (or bind format_version)
+//                   before touching the payload, so old binaries reject
+//                   newer formats instead of misreading them
 //
 // Comments and string/char literals are stripped before matching, so
 // prose and format strings never trip a rule. A finding on a line
@@ -266,6 +272,35 @@ void scan_file(const fs::path& path, std::vector<Finding>& findings) {
              "direct per-row model query bypasses the guard layer (use "
              "ProblemScalingPredictor::predict_guarded / "
              "CounterModels::predict_kind)");
+    } else if (path.extension() == ".cpp" && t.text == "load" &&
+               i + 1 < tokens.size() && tokens[i + 1].text == "(") {
+      // A reader definition: `load(` with an istream parameter close by
+      // (declarations live in headers, call sites pass a value, so only
+      // .cpp definitions match). The function must consult the format
+      // version before parsing any field.
+      bool is_reader = false;
+      for (std::size_t j = i + 2; j < tokens.size() && j <= i + 6; ++j) {
+        if (tokens[j].text == "istream") {
+          is_reader = true;
+          break;
+        }
+      }
+      if (is_reader) {
+        bool versioned = false;
+        for (std::size_t j = i; j < tokens.size() && j <= i + 200; ++j) {
+          if (tokens[j].text == "read_format_version" ||
+              tokens[j].text == "format_version") {
+            versioned = true;
+            break;
+          }
+        }
+        if (!versioned) {
+          report(t.line, "artifact-version",
+                 "serialized-struct reader does not check the format "
+                 "version before parsing (call bf::read_format_version "
+                 "first)");
+        }
+      }
     } else if (guard_scope && t.text == "predict" && i >= 2 &&
                tokens[i - 1].text == "." &&
                (tokens[i - 2].text == "forest_" ||

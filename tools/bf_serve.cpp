@@ -1,0 +1,220 @@
+// bf_serve — the BlackForest prediction server.
+//
+// Answers newline-delimited JSON prediction requests from trained
+// .bfmodel bundles (written by `bf_analyze --export-model`). Bundles
+// are cached in an LRU registry with single-flight loading; batches are
+// grouped per model and fanned across a thread pool.
+//
+//   bf_analyze --workload reduce1 --runs 12 --export-model m/reduce1.bfmodel
+//   printf '%s\n' '{"model":"reduce1","size":65536,"id":1}' |
+//     bf_serve --model-dir m
+//
+//   bf_serve --model-dir m --socket /tmp/bf.sock     # accept loop
+//
+// Request/response schema: docs/serving.md.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/string_util.hpp"
+#include "common/version.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace bf;
+
+void usage() {
+  std::printf(
+      "usage: bf_serve [options]\n"
+      "  --model-dir DIR   directory of <name>.bfmodel bundles (default .)\n"
+      "  --cache N         max resident bundles, LRU beyond (default 8)\n"
+      "  --threads N       worker threads (default: shared global pool)\n"
+      "  --socket PATH     listen on a Unix socket instead of stdin;\n"
+      "                    each connection sends NDJSON requests and\n"
+      "                    half-closes, replies come back in order\n"
+      "  --once            exit after the first socket connection\n"
+      "  --batch           read all of stdin before answering, grouping\n"
+      "                    requests per model and fanning across the\n"
+      "                    thread pool (default: one reply per line,\n"
+      "                    streamed as requests arrive)\n"
+      "  --faults SPEC     arm fault injection (also BF_FAULTS in env)\n"
+      "  --fault-seed N    deterministic fault stream seed\n"
+      "  --version         print the build identity and exit\n"
+      "\n"
+      "stdin mode reads requests (one JSON object per line) until EOF\n"
+      "and writes one reply line per request, in input order.\n");
+}
+
+struct Args {
+  serve::ServerOptions server;
+  std::string socket_path;
+  bool once = false;
+  bool batch = false;
+  std::string faults;
+  std::uint64_t fault_seed = bf::fault::kDefaultSeed;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      BF_CHECK_MSG(i + 1 < argc, "missing value for " << a);
+      return argv[++i];
+    };
+    if (a == "--model-dir") {
+      args.server.model_dir = next();
+    } else if (a == "--cache") {
+      args.server.cache_capacity = static_cast<std::size_t>(parse_int(next()));
+    } else if (a == "--threads") {
+      args.server.threads = static_cast<std::size_t>(parse_int(next()));
+    } else if (a == "--socket") {
+      args.socket_path = next();
+    } else if (a == "--once") {
+      args.once = true;
+    } else if (a == "--batch") {
+      args.batch = true;
+    } else if (a == "--faults") {
+      args.faults = next();
+    } else if (a == "--fault-seed") {
+      args.fault_seed = static_cast<std::uint64_t>(parse_int(next()));
+    } else if (a == "--version") {
+      std::printf("%s\n", bf::version_string().c_str());
+      std::exit(0);
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      BF_FAIL("unknown option: " << a);
+    }
+  }
+  return args;
+}
+
+/// Split a request stream into lines, dropping blank ones (a trailing
+/// newline before EOF is not an empty request).
+std::vector<std::string> split_requests(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) lines.push_back(std::move(line));
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return lines;
+}
+
+int run_stdin(serve::Server& server, bool batch) {
+  if (batch) {
+    // Throughput mode: collect everything, group per model, fan out.
+    std::string input;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
+      input.append(buf, n);
+    }
+    const auto replies = server.handle_batch(split_requests(input));
+    for (const auto& reply : replies) std::printf("%s\n", reply.c_str());
+    return 0;
+  }
+  // Streaming mode: one reply per request line, flushed immediately so
+  // an interactive client (or a pipe) sees answers as it asks.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::printf("%s\n", server.handle_line(line).c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+#ifndef _WIN32
+int run_socket(serve::Server& server, const std::string& path, bool once) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  BF_CHECK_MSG(listener >= 0, "cannot create Unix socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  BF_CHECK_MSG(path.size() < sizeof(addr.sun_path),
+               "socket path too long: " << path);
+  path.copy(addr.sun_path, path.size());
+  ::unlink(path.c_str());
+  BF_CHECK_MSG(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0,
+               "cannot bind " << path);
+  BF_CHECK_MSG(::listen(listener, 16) == 0, "cannot listen on " << path);
+  std::fprintf(stderr, "bf_serve: listening on %s\n", path.c_str());
+
+  while (true) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) continue;
+    std::string input;
+    char buf[4096];
+    ssize_t n = 0;
+    while ((n = ::read(conn, buf, sizeof(buf))) > 0) {
+      input.append(buf, static_cast<std::size_t>(n));
+    }
+    const auto replies = server.handle_batch(split_requests(input));
+    std::string out;
+    for (const auto& reply : replies) {
+      out += reply;
+      out += '\n';
+    }
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t w = ::write(conn, out.data() + off, out.size() - off);
+      if (w <= 0) break;
+      off += static_cast<std::size_t>(w);
+    }
+    ::close(conn);
+    if (once) break;
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (!args.faults.empty()) {
+      bf::fault::reseed(args.fault_seed);
+      bf::fault::configure(args.faults);
+    } else {
+      bf::fault::configure_from_env();
+    }
+    serve::Server server(args.server);
+    if (!args.socket_path.empty()) {
+#ifndef _WIN32
+      return run_socket(server, args.socket_path, args.once);
+#else
+      BF_FAIL("--socket is not supported on this platform");
+#endif
+    }
+    return run_stdin(server, args.batch);
+  } catch (const bf::Error& e) {
+    std::fprintf(stderr, "bf_serve: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bf_serve: unexpected error: %s\n", e.what());
+    return 1;
+  }
+}
