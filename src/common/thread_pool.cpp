@@ -59,7 +59,9 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = std::min(end, lo + chunk_size);
     if (lo >= hi) break;
-    submit([lo, hi, &fn] {
+    // Audited: wait_idle() below outlives every task, so &fn cannot
+    // dangle.
+    submit([lo, hi, &fn] {  // bf-lint: allow(capture-escape)
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     });
   }

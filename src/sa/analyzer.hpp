@@ -1,0 +1,41 @@
+// bf::sa analyzer — the orchestrator every driver (bf_lint, tests, CI)
+// calls.
+//
+// analyze() walks the requested roots, lexes every .hpp/.cpp once, runs
+// the three pass families (token rules, include graph, concurrency)
+// over the shared token streams, applies in-source suppressions
+// (`// bf-lint: allow(rule)` — with accounting: a suppression that
+// silences nothing is itself a finding) and the committed baseline,
+// and returns the surviving findings plus scan statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sa/findings.hpp"
+
+namespace bf::sa {
+
+struct AnalyzerOptions {
+  /// Directories (scanned recursively for .hpp/.cpp) or single files.
+  std::vector<std::string> roots;
+  /// Paths to skip: a file or directory is excluded when its normalized
+  /// absolute path starts with one of these (also normalized).
+  std::vector<std::string> excludes;
+  /// Baseline file of grandfathered findings; "" disables baselining.
+  std::string baseline_path;
+  /// Root for repo-relative paths in findings and baseline keys; ""
+  /// derives the deepest common ancestor of `roots`.
+  std::string repo_root;
+};
+
+struct AnalysisReport {
+  std::vector<Finding> findings;
+  ReportStats stats;
+};
+
+/// Run the full analysis. Throws bf::Error when a root does not exist
+/// or the baseline file cannot be read.
+AnalysisReport analyze(const AnalyzerOptions& options);
+
+}  // namespace bf::sa

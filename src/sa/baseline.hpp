@@ -1,0 +1,45 @@
+// bf::sa baseline — grandfathered findings, committed with justifications.
+//
+// Format (one entry per line):
+//
+//   <rule>|<file>|<detail>  # why this finding is accepted
+//
+// The key is a finding's stable identity (line numbers excluded, so
+// unrelated edits never invalidate entries). Blank lines and lines
+// starting with '#' are comments. Every entry MUST carry a ' # reason'
+// trailer — an entry without one is itself a finding
+// (baseline-format), and an entry matching no current finding is a
+// finding too (stale-baseline): the baseline can only shrink.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sa/findings.hpp"
+
+namespace bf::sa {
+
+struct BaselineEntry {
+  std::string key;            // rule|file|detail
+  std::string justification;  // text after '#'
+  int line = 0;               // line in the baseline file
+};
+
+struct Baseline {
+  std::string path;  // as given; "" when no baseline is in use
+  std::vector<BaselineEntry> entries;
+};
+
+/// Parse a baseline file's content. Malformed entries are reported by
+/// apply_baseline (the parse itself never fails).
+Baseline parse_baseline(std::string path, const std::string& content);
+
+/// Drop findings matched by the baseline (counting them in
+/// stats.baselined); append baseline-format findings for entries
+/// without a justification and stale-baseline findings for entries that
+/// matched nothing.
+void apply_baseline(const Baseline& baseline, std::vector<Finding>& findings,
+                    ReportStats& stats);
+
+}  // namespace bf::sa

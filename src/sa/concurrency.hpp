@@ -1,0 +1,33 @@
+// bf::sa concurrency passes — the guardrails for code that runs off the
+// calling thread.
+//
+//   capture-escape   a lambda with a by-reference capture ([&], [&x])
+//                    passed to ThreadPool::submit or a std::thread
+//                    constructor. Unlike parallel_for (which blocks
+//                    until completion), submit/thread let the lambda
+//                    outlive the enclosing scope, so every by-ref
+//                    capture is a potential use-after-return and must
+//                    carry an audited bf-lint: allow(capture-escape).
+//   mutable-global   a non-const namespace-scope variable that is not a
+//                    synchronisation primitive (mutex/atomic/once_flag/
+//                    condition_variable). Shared mutable state must be
+//                    wrapped in a locked accessor or made const.
+//   lock-order       two std::mutex objects acquired in both orders in
+//                    the same translation unit — the classic ABBA
+//                    deadlock. Acquisition order per mutex pair must be
+//                    consistent (or use std::scoped_lock(a, b)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sa/findings.hpp"
+#include "sa/lexer.hpp"
+
+namespace bf::sa {
+
+void run_concurrency_passes(const LexedFile& file,
+                            const std::string& repo_relative,
+                            std::vector<Finding>& out);
+
+}  // namespace bf::sa

@@ -1,0 +1,98 @@
+#include "sa/findings.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace bf::sa {
+namespace {
+
+/// Minimal JSON string escaping (the sa layer sits below serve, so it
+/// cannot reuse bf::serve::json_escape without inverting the DAG).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* severity_name(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+std::string finding_key(const Finding& f) {
+  return f.rule + "|" + f.file + "|" + f.detail;
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+}
+
+std::string render_text(const std::vector<Finding>& findings,
+                        const ReportStats& stats) {
+  std::ostringstream os;
+  for (const auto& f : findings) {
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+       << "\n";
+  }
+  if (findings.empty()) {
+    os << "bf_lint: clean (" << stats.files_scanned << " files scanned, "
+       << stats.suppressed << " suppressed, " << stats.baselined
+       << " baselined)\n";
+  } else {
+    os << "bf_lint: " << findings.size() << " violation(s) ("
+       << stats.files_scanned << " files scanned, " << stats.suppressed
+       << " suppressed, " << stats.baselined << " baselined)\n";
+  }
+  return os.str();
+}
+
+std::string render_json(const std::vector<Finding>& findings,
+                        const ReportStats& stats) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"tool\": \"bf_lint\",\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"files_scanned\": " << stats.files_scanned << ",\n";
+  os << "  \"suppressed\": " << stats.suppressed << ",\n";
+  os << "  \"baselined\": " << stats.baselined << ",\n";
+  os << "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"file\": \"" << escape(f.file) << "\", "
+       << "\"line\": " << f.line << ", "
+       << "\"rule\": \"" << escape(f.rule) << "\", "
+       << "\"severity\": \"" << severity_name(f.severity) << "\", "
+       << "\"key\": \"" << escape(finding_key(f)) << "\", "
+       << "\"message\": \"" << escape(f.message) << "\"}";
+  }
+  os << (findings.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace bf::sa

@@ -1,0 +1,64 @@
+// bf::sa include-graph analysis — module layering, cycles, duplicates.
+//
+// The project is layered as a DAG of modules (directories under src/,
+// plus the tools/tests/bench/examples roots). The table in
+// layer_table() is the single declarative statement of which module may
+// include which; the pass extracts every quoted #include edge from the
+// shared token stream, resolves it against the scanned file set, and
+// reports:
+//
+//   layer-dag          an edge the table does not allow
+//   include-cycle      a cycle in the file-level include graph
+//   duplicate-include  the same resolved header included twice
+//
+// Grandfathered edges live in the committed baseline with a
+// justification; new violations fail the build.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sa/findings.hpp"
+#include "sa/lexer.hpp"
+
+namespace bf::sa {
+
+struct LayerSpec {
+  const char* module;
+  /// Modules this one may #include from (itself is always allowed).
+  std::vector<const char*> allowed;
+};
+
+/// The project layer DAG:
+///   common → linalg → ml / gpusim / cpusim / kernels
+///          → check / guard → profiling → core → serve / report
+///          → tools / tests / bench / examples
+/// (sa sits beside linalg: it depends on common only.)
+const std::vector<LayerSpec>& layer_table();
+
+/// Module name for a repo-relative path: "src/ml/tree.cpp" → "ml",
+/// "tools/bf_lint.cpp" → "tools". Empty for paths outside known roots.
+std::string module_of(const std::string& repo_relative);
+
+struct IncludeEdge {
+  std::string from;     // repo-relative includer
+  std::string to;       // repo-relative resolved target
+  std::string spelled;  // the path as written between quotes
+  int line = 0;
+};
+
+/// Extract the quoted #include directives of one lexed file. System
+/// (<...>) includes are ignored; unresolved quoted includes (not in
+/// `known_files`) are skipped — they are compiler-path headers like
+/// gtest's, not project layering edges.
+std::vector<IncludeEdge> extract_includes(
+    const LexedFile& file, const std::string& repo_relative,
+    const std::map<std::string, const LexedFile*>& known_files);
+
+/// Run the whole-graph pass over every scanned file.
+void run_include_graph(
+    const std::map<std::string, const LexedFile*>& files_by_rel,
+    std::vector<Finding>& out);
+
+}  // namespace bf::sa

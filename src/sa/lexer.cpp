@@ -1,0 +1,380 @@
+#include "sa/lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <utility>
+
+namespace bf::sa {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// True when the identifier `id` is a valid encoding prefix for a string
+/// literal ("", u8, u, U, L) optionally followed by R for raw strings.
+bool is_raw_prefix(const std::string& id) {
+  return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+bool is_string_prefix(const std::string& id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L";
+}
+
+class Lexer {
+ public:
+  Lexer(std::string path, std::string src) {
+    out_.path = std::move(path);
+    out_.src = std::move(src);
+  }
+
+  LexedFile run() {
+    const std::string& s = out_.src;
+    while (pos_ < s.size()) {
+      const char c = s[pos_];
+      if (c == '\n') {
+        advance_newline();
+        continue;
+      }
+      if (c == '\\' && pos_ + 1 < s.size() && s[pos_ + 1] == '\n') {
+        // Phase-2 line splice outside any literal: skip, keep counting
+        // physical lines so reported positions match the editor.
+        pos_ += 2;
+        ++line_;
+        col_ = 1;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        advance(1);
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '"') {
+        lex_string(/*prefix=*/"");
+        continue;
+      }
+      if (c == '\'') {
+        lex_char();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        lex_ident_or_prefixed_literal();
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        lex_number();
+        continue;
+      }
+      lex_punct();
+    }
+    out_.line_count = line_;
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < out_.src.size() ? out_.src[pos_ + ahead] : '\0';
+  }
+
+  void advance(std::size_t n) {
+    pos_ += n;
+    col_ += static_cast<int>(n);
+  }
+
+  void advance_newline() {
+    ++pos_;
+    ++line_;
+    col_ = 1;
+    at_line_start_ = true;
+  }
+
+  void push_token(TokKind kind, std::string text, bool raw = false) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line_;
+    t.col = col_;
+    t.raw = raw;
+    t.at_line_start = at_line_start_;
+    at_line_start_ = false;
+    out_.tokens.push_back(std::move(t));
+  }
+
+  /// Consume characters [pos_, pos_+n) into `sink`, tracking newlines so
+  /// multi-line literals/comments keep positions accurate.
+  void consume_into(std::string& sink, std::size_t n) {
+    for (std::size_t k = 0; k < n && pos_ < out_.src.size(); ++k) {
+      const char c = out_.src[pos_];
+      sink.push_back(c);
+      ++pos_;
+      if (c == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+    }
+  }
+
+  void lex_line_comment() {
+    Comment cm;
+    cm.line = line_;
+    const std::string& s = out_.src;
+    std::string text;
+    // A line comment ends at the first newline NOT preceded by a
+    // backslash line-splice: `// foo \` continues onto the next line.
+    while (pos_ < s.size()) {
+      if (s[pos_] == '\\' && pos_ + 1 < s.size() && s[pos_ + 1] == '\n') {
+        consume_into(text, 2);  // splice: comment continues
+        continue;
+      }
+      if (s[pos_] == '\n') break;
+      consume_into(text, 1);
+    }
+    cm.text = std::move(text);
+    cm.end_line = line_;
+    out_.comments.push_back(std::move(cm));
+    at_line_start_ = false;
+  }
+
+  void lex_block_comment() {
+    Comment cm;
+    cm.line = line_;
+    const std::string& s = out_.src;
+    std::string text;
+    consume_into(text, 2);  // "/*"
+    while (pos_ < s.size()) {
+      if (s[pos_] == '*' && peek(1) == '/') {
+        consume_into(text, 2);
+        break;
+      }
+      consume_into(text, 1);
+    }
+    cm.text = std::move(text);
+    cm.end_line = line_;
+    out_.comments.push_back(std::move(cm));
+    at_line_start_ = false;
+  }
+
+  void lex_string(const std::string& prefix) {
+    const std::string& s = out_.src;
+    std::string text = prefix;
+    const int start_line = line_;
+    const int start_col = col_ - static_cast<int>(prefix.size());
+    const bool was_line_start = at_line_start_ && prefix.empty();
+    consume_into(text, 1);  // opening quote
+    while (pos_ < s.size()) {
+      const char c = s[pos_];
+      if (c == '\\') {
+        consume_into(text, 2);  // escape (incl. \" and \<newline> splice)
+        continue;
+      }
+      if (c == '"') {
+        consume_into(text, 1);
+        break;
+      }
+      if (c == '\n') break;  // unterminated: stop at end of line
+      consume_into(text, 1);
+    }
+    Token t;
+    t.kind = TokKind::kString;
+    t.text = std::move(text);
+    t.line = start_line;
+    t.col = start_col;
+    t.at_line_start = was_line_start || pending_line_start_;
+    pending_line_start_ = false;
+    at_line_start_ = false;
+    out_.tokens.push_back(std::move(t));
+  }
+
+  /// R"delim( ... )delim" — no escape processing inside; embedded quotes
+  /// and backslashes are literal until the exact )delim" terminator.
+  void lex_raw_string(const std::string& prefix) {
+    const std::string& s = out_.src;
+    std::string text = prefix;
+    const int start_line = line_;
+    const int start_col = col_ - static_cast<int>(prefix.size());
+    consume_into(text, 1);  // opening quote
+    std::string delim;
+    while (pos_ < s.size() && s[pos_] != '(' && delim.size() < 16) {
+      delim.push_back(s[pos_]);
+      consume_into(text, 1);
+    }
+    if (pos_ < s.size() && s[pos_] == '(') consume_into(text, 1);
+    const std::string terminator = ")" + delim + "\"";
+    while (pos_ < s.size()) {
+      if (s[pos_] == ')' &&
+          s.compare(pos_, terminator.size(), terminator) == 0) {
+        consume_into(text, terminator.size());
+        break;
+      }
+      consume_into(text, 1);
+    }
+    Token t;
+    t.kind = TokKind::kString;
+    t.text = std::move(text);
+    t.line = start_line;
+    t.col = start_col;
+    t.raw = true;
+    t.at_line_start = pending_line_start_;
+    pending_line_start_ = false;
+    at_line_start_ = false;
+    out_.tokens.push_back(std::move(t));
+  }
+
+  void lex_char() {
+    const std::string& s = out_.src;
+    std::string text;
+    const int start_line = line_;
+    const int start_col = col_;
+    consume_into(text, 1);  // opening quote
+    while (pos_ < s.size()) {
+      const char c = s[pos_];
+      if (c == '\\') {
+        consume_into(text, 2);  // '\'' and '\\' stay inside the literal
+        continue;
+      }
+      if (c == '\'') {
+        consume_into(text, 1);
+        break;
+      }
+      if (c == '\n') break;  // unterminated
+      consume_into(text, 1);
+    }
+    Token t;
+    t.kind = TokKind::kChar;
+    t.text = std::move(text);
+    t.line = start_line;
+    t.col = start_col;
+    t.at_line_start = at_line_start_;
+    at_line_start_ = false;
+    out_.tokens.push_back(std::move(t));
+  }
+
+  void lex_ident_or_prefixed_literal() {
+    const std::string& s = out_.src;
+    std::size_t j = pos_;
+    while (j < s.size() && is_ident_char(s[j])) ++j;
+    std::string id = s.substr(pos_, j - pos_);
+    // u8R"(...)" / R"(...)" raw strings and L"..." prefixed strings: the
+    // prefix must be immediately followed by the quote.
+    if (j < s.size() && s[j] == '"') {
+      if (is_raw_prefix(id)) {
+        pending_line_start_ = at_line_start_;
+        advance(id.size());
+        lex_raw_string(id);
+        return;
+      }
+      if (is_string_prefix(id)) {
+        pending_line_start_ = at_line_start_;
+        advance(id.size());
+        lex_string(id);
+        return;
+      }
+    }
+    if (j < s.size() && s[j] == '\'' &&
+        (id == "u8" || id == "u" || id == "U" || id == "L")) {
+      advance(id.size());
+      lex_char();
+      return;
+    }
+    const std::size_t len = j - pos_;
+    push_token(TokKind::kIdent, std::move(id));
+    advance(len);
+  }
+
+  /// Greedily merge multi-character punctuators (::, ->, <<=, ...), so
+  /// passes can match them as single tokens instead of re-assembling
+  /// character pairs.
+  void lex_punct() {
+    static const char* kThree[] = {"<<=", ">>=", "->*", "..."};
+    static const char* kTwo[] = {"::", "->", ".*", "<<", ">>", "<=", ">=",
+                                 "==", "!=", "&&", "||", "+=", "-=", "*=",
+                                 "/=", "%=", "&=", "|=", "^=", "++", "--",
+                                 "##"};
+    const std::string& s = out_.src;
+    for (const char* op : kThree) {
+      if (s.compare(pos_, 3, op) == 0) {
+        push_token(TokKind::kPunct, op);
+        advance(3);
+        return;
+      }
+    }
+    for (const char* op : kTwo) {
+      if (s.compare(pos_, 2, op) == 0) {
+        push_token(TokKind::kPunct, op);
+        advance(2);
+        return;
+      }
+    }
+    push_token(TokKind::kPunct, std::string(1, s[pos_]));
+    advance(1);
+  }
+
+  void lex_number() {
+    const std::string& s = out_.src;
+    std::size_t j = pos_;
+    // pp-number: digits, idents chars, '.', exponent signs after
+    // e/E/p/P, and C++14 digit separators (1'000'000).
+    while (j < s.size()) {
+      const char c = s[j];
+      if (is_ident_char(c) || c == '.') {
+        ++j;
+        continue;
+      }
+      if ((c == '+' || c == '-') && j > pos_ &&
+          (s[j - 1] == 'e' || s[j - 1] == 'E' || s[j - 1] == 'p' ||
+           s[j - 1] == 'P')) {
+        ++j;
+        continue;
+      }
+      if (c == '\'' && j + 1 < s.size() && is_ident_char(s[j + 1]) &&
+          j > pos_) {
+        j += 2;  // digit separator
+        continue;
+      }
+      break;
+    }
+    push_token(TokKind::kNumber, s.substr(pos_, j - pos_));
+    advance(j - pos_);
+  }
+
+  LexedFile out_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool at_line_start_ = true;
+  bool pending_line_start_ = false;
+};
+
+}  // namespace
+
+LexedFile lex(std::string path, std::string src) {
+  return Lexer(std::move(path), std::move(src)).run();
+}
+
+bool is_float_literal(const std::string& t) {
+  if (t.size() < 2) return false;
+  if (t.back() != 'f' && t.back() != 'F') return false;
+  if (t.size() > 2 && (t[1] == 'x' || t[1] == 'X')) return false;  // hex
+  for (const char c : t) {
+    if (c == '.' || c == 'e' || c == 'E') return true;
+  }
+  return false;
+}
+
+}  // namespace bf::sa

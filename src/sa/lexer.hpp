@@ -1,0 +1,61 @@
+// bf::sa lexer — a comment/string/raw-string-aware C++ token stream.
+//
+// Every pass in the static-analysis library consumes this one lexer, so
+// the corner cases that break line-oriented tools (raw string literals
+// with embedded quotes, line continuations inside // comments, '\''
+// char escapes, adjacent string literals, block-comment-like text
+// inside strings) are handled exactly once. The lexer is not a compiler
+// front end: it produces a flat token stream with line/column
+// positions, keeps comments as separate trivia (for suppression
+// scanning), and never evaluates the preprocessor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bf::sa {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // pp-number: 1, 0xFF, 1.5e-3, 1'000'000, 2.0f
+  kString,   // string literal incl. quotes/prefix: "x", u8"x", R"(x)"
+  kChar,     // character literal incl. quotes: 'a', '\''
+  kPunct,    // one operator/punctuator character
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based physical line of the first character
+  int col = 0;   // 1-based column of the first character
+  /// For kString: true when this was a raw string literal R"(...)".
+  bool raw = false;
+  /// True when this token is the first on its physical line (used to
+  /// recognise preprocessor directives without a separate pp pass).
+  bool at_line_start = false;
+};
+
+struct Comment {
+  std::string text;  // full comment incl. // or /* */
+  int line = 0;      // line the comment starts on
+  int end_line = 0;  // last line the comment covers (continuations!)
+};
+
+struct LexedFile {
+  std::string path;                 // as given to lex_file
+  std::string src;                  // raw bytes
+  std::vector<Token> tokens;        // code tokens, comments excluded
+  std::vector<Comment> comments;    // comment trivia, in order
+  int line_count = 0;
+};
+
+/// Lex a source buffer. Never throws: malformed input (unterminated
+/// string, stray byte) degrades to best-effort punct tokens so the
+/// analysis can still report on the rest of the file.
+LexedFile lex(std::string path, std::string src);
+
+/// True for a decimal floating literal with an f/F suffix (1.0f, 3.f,
+/// 1e-3f). Hex-float (0x1p3f) and plain integers are not matched.
+bool is_float_literal(const std::string& number_text);
+
+}  // namespace bf::sa

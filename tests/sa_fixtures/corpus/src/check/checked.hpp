@@ -1,0 +1,4 @@
+// Fixture: a clean header in the check layer, used as the target of the
+// seeded layer-dag violation in src/ml/layered.hpp.
+#pragma once
+inline bool checked() { return true; }

@@ -1,0 +1,25 @@
+// Fixture: one seeded violation for each of the classic banned-pattern
+// rules that fire on simple tokens. Lines matter to the parity test in
+// tests/sa_test.cpp — update the expected table there when editing.
+#include <cstdlib>
+
+int* make_leak() {
+  int* p = new int(7);  // seeded: raw-new
+  return p;
+}
+
+void free_leak(int* p) {
+  delete p;  // seeded: raw-delete
+}
+
+int noise() {
+  return rand();  // seeded: no-rand
+}
+
+double shrink(double x) {
+  return x * 0.5f;  // seeded: float-literal
+}
+
+double parse(const char* s) {
+  return atof(s);  // seeded: unchecked-parse
+}

@@ -1,0 +1,4 @@
+// Fixture: half of a seeded include cycle (a -> b -> a).
+#pragma once
+#include "common/cycle_b.hpp"
+inline int cycle_a() { return 1; }

@@ -1,0 +1,4 @@
+// Fixture: the other half of the seeded include cycle.
+#pragma once
+#include "common/cycle_a.hpp"
+inline int cycle_b() { return 2; }

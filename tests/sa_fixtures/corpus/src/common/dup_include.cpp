@@ -1,0 +1,5 @@
+// Fixture: seeded duplicate-include — the same resolved header twice.
+#include "common/cycle_a.hpp"
+#include "common/cycle_a.hpp"
+
+int dup() { return cycle_a(); }

@@ -1,0 +1,17 @@
+// Fixture: seeded capture-escape violations — by-reference lambda
+// captures handed to ThreadPool::submit and to a std::thread, plus a
+// by-value lambda that must NOT fire.
+#include <thread>
+
+struct Pool {
+  template <typename F>
+  void submit(F&& f);
+};
+
+void fan_out(Pool& pool) {
+  int local = 0;
+  pool.submit([&local] { local += 1; });  // seeded: capture-escape
+  pool.submit([local] { (void)local; });  // by value: clean
+  std::thread worker([&] { local += 2; });  // seeded: capture-escape
+  worker.join();
+}

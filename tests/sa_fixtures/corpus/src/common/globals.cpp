@@ -1,0 +1,18 @@
+// Fixture: seeded mutable-global violation, beside the shapes that must
+// stay clean (const, constexpr, atomics, mutexes, function statics).
+#include <atomic>
+#include <mutex>
+#include <string>
+
+int g_counter = 0;  // seeded: mutable-global
+
+const int kLimit = 8;                  // clean: const
+constexpr double kScale = 1.5;         // clean: constexpr
+std::atomic<int> g_hits{0};            // clean: atomic
+std::mutex g_mu;                       // clean: sync primitive
+static const std::string kName = "x";  // clean: const
+
+int bump() {
+  static int calls = 0;  // clean: function-local static
+  return ++calls + g_counter;
+}

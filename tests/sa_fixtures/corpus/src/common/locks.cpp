@@ -1,0 +1,20 @@
+// Fixture: seeded lock-order violation — mu_a/mu_b acquired in both
+// orders in one translation unit (the classic ABBA deadlock). The
+// mutexes themselves are exempt from mutable-global (sync primitives).
+#include <mutex>
+
+std::mutex mu_a;
+std::mutex mu_b;
+int shared_value = 0;  // bf-lint: allow(mutable-global)
+
+void forward() {
+  std::lock_guard<std::mutex> la(mu_a);
+  std::lock_guard<std::mutex> lb(mu_b);
+  ++shared_value;
+}
+
+void backward() {
+  std::lock_guard<std::mutex> lb(mu_b);
+  std::lock_guard<std::mutex> la(mu_a);  // seeded: lock-order
+  --shared_value;
+}

@@ -1,0 +1,3 @@
+// Fixture: seeded pragma-once violation — this header deliberately has
+// no #pragma once.
+inline int forty_two() { return 42; }

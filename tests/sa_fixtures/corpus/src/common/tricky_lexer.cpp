@@ -1,0 +1,41 @@
+// Fixture: lexer stress — every construct here is CLEAN. A
+// line-oriented or state-machine-corrupted scanner reports false
+// positives in this file; the token-based engine must stay silent.
+#include <string>
+
+// Raw string literals: embedded quotes, banned words and comment-like
+// text are all literal data, not code.
+const std::string kRawBanned = R"(new delete rand() atof("x") 0.5f)";
+const std::string kRawQuote = R"delim(she said "new int" loudly)delim";
+const std::string kRawMultiline = R"(line one
+rand() on line two of the literal
+still inside: /* not a comment */ atof)";
+
+// A block-comment opener inside a plain string must not eat the rest of
+// the file (the 0.5f after it is inside the next string, also fine).
+const std::string kFakeComment = "/* still a string: new int; 0.5f";
+const std::string kFakeClose = "*/ delete p; rand();";
+
+// Adjacent string literals concatenate; each piece lexes separately.
+const std::string kAdjacent =
+    "first piece with new "
+    "second piece with rand() "
+    "third with atof(\"7\")";
+
+// Char-literal escapes: '\'' and '\\' must not desynchronise the lexer
+// into treating the following tokens as literal content (or vice
+// versa).
+const char kQuote = '\'';
+const char kBackslash = '\\';
+const char kNul = '\0';
+
+// The continuation makes the next physical line part of this comment: \
+new int[3]; rand(); atof("99");  0.5f;
+
+int use_everything() {
+  return static_cast<int>(kRawBanned.size() + kAdjacent.size()) +
+         (kQuote == '\'' ? 1 : 0) + (kBackslash == '\\' ? 1 : 0) +
+         (kNul == '\0' ? 1 : 0) +
+         static_cast<int>(kFakeComment.size() + kFakeClose.size() +
+                          kRawQuote.size() + kRawMultiline.size());
+}

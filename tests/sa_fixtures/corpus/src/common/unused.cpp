@@ -1,0 +1,5 @@
+// Fixture: seeded unused-suppression — the allow() below silences
+// nothing on its line.
+int clean_function() {
+  return 1;  // bf-lint: allow(raw-new)  (seeded: unused-suppression)
+}

@@ -1,0 +1,5 @@
+// Fixture: seeded layer-dag violation — ml may not include from check
+// (check sits above ml in the layer DAG).
+#pragma once
+#include "check/checked.hpp"
+inline bool layered() { return checked(); }

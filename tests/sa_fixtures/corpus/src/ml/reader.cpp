@@ -1,0 +1,13 @@
+// Fixture: seeded artifact-version violation — a serialized-struct
+// reader that parses fields without consulting the format version.
+#include <istream>
+
+struct Blob {
+  int field = 0;
+};
+
+Blob load(std::istream& is) {  // seeded: artifact-version
+  Blob b;
+  is >> b.field;
+  return b;
+}

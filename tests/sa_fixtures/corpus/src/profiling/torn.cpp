@@ -1,0 +1,8 @@
+// Fixture: seeded atomic-write violation — a bare ofstream in the
+// repository layer.
+#include <fstream>
+
+void persist(const char* path) {
+  std::ofstream os(path);  // seeded: atomic-write
+  os << "torn";
+}

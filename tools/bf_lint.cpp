@@ -1,358 +1,118 @@
-// bf_lint — a fast project linter for the BlackForest tree, run as a
-// ctest so violations fail the build.
+// bf_lint — the BlackForest static-analysis driver, run as a ctest so
+// violations fail the build.
 //
-//   bf_lint DIR [DIR...]
+//   bf_lint [options] DIR|FILE [DIR|FILE...]
 //
-// Scans every .hpp/.cpp under the given roots for banned patterns:
+//   --baseline FILE   committed grandfathered findings (stable keys with
+//                     justifications; stale entries are findings)
+//   --json FILE       write the findings as a JSON document ('-' for
+//                     stdout); text output still goes to stdout
+//   --exclude PATH    skip a file or directory subtree (repeatable)
+//   --repo-root DIR   root for repo-relative paths (default: deepest
+//                     common ancestor of the scan roots)
+//   --list-rules      print the rule registry and exit
 //
-//   pragma-once     .hpp files must contain #pragma once
-//   raw-new         raw `new` outside RAII (use std::make_unique & co.)
-//   raw-delete      raw `delete` (deleted members `= delete` are fine)
-//   no-rand         rand()/srand() instead of the seeded bf::Rng
-//   float-literal   float literals (1.0f) in double-precision stat code
-//   unchecked-parse atof/atoi/stod/... which swallow trailing garbage;
-//                   use bf::parse_double / bf::parse_int / CsvTable
-//   atomic-write    direct std::ofstream use inside the profiling /
-//                   repository layer, which can leave torn entries on
-//                   crash; persist through bf::atomic_write_file
-//   guarded-predict direct per-row forest / counter-model queries
-//                   (predict_row, forest().predict) inside src/core/ or
-//                   tools/, bypassing the guard layer's supervised entry
-//                   points (ProblemScalingPredictor::predict_guarded,
-//                   CounterModels::predict_kind)
-//   artifact-version a serialized-struct reader (a load(std::istream&)
-//                   definition) that parses fields without first
-//                   checking the format version; readers must call
-//                   bf::read_format_version (or bind format_version)
-//                   before touching the payload, so old binaries reject
-//                   newer formats instead of misreading them
+// The analysis itself lives in src/sa/ (bf::sa): a shared
+// comment/string/raw-string-aware lexer feeding three pass families —
+// per-file token rules (the classic banned-pattern nine), the
+// include-graph pass (layer DAG, cycles, duplicate includes) and the
+// concurrency passes (capture-escape, mutable-global, lock-order).
+// See docs/static_analysis.md for the full rule list and policies.
 //
-// Comments and string/char literals are stripped before matching, so
-// prose and format strings never trip a rule. A finding on a line
-// containing `bf-lint: allow(<rule>)` is suppressed.
-#include <cctype>
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <set>
-#include <sstream>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
+#include "common/io.hpp"
+#include "common/string_util.hpp"
+#include "sa/analyzer.hpp"
+#include "sa/rules.hpp"
+
 namespace {
 
-namespace fs = std::filesystem;
-
-struct Finding {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
-
-/// Blank out comments and string/char literals, preserving offsets and
-/// newlines so line numbers stay valid.
-std::string strip_comments_and_strings(const std::string& src) {
-  std::string out = src;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n') {
-            if (i + 1 < out.size()) out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < out.size()) out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
+int usage() {
+  std::fprintf(stderr,
+               "usage: bf_lint [--baseline FILE] [--json FILE|-] "
+               "[--exclude PATH]... [--repo-root DIR] [--list-rules] "
+               "DIR|FILE [DIR|FILE...]\n");
+  return 2;
 }
 
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-struct Token {
-  std::string text;
-  int line = 0;
-  bool is_number = false;
-};
-
-std::vector<Token> tokenize(const std::string& stripped) {
-  std::vector<Token> tokens;
-  int line = 1;
-  for (std::size_t i = 0; i < stripped.size();) {
-    const char c = stripped[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c)) != 0 &&
-        (i == 0 || !is_ident_char(stripped[i - 1]))) {
-      // Numeric literal: digits, hex, '.', exponents, suffixes.
-      std::size_t j = i;
-      while (j < stripped.size() &&
-             (is_ident_char(stripped[j]) || stripped[j] == '.' ||
-              ((stripped[j] == '+' || stripped[j] == '-') && j > i &&
-               (stripped[j - 1] == 'e' || stripped[j - 1] == 'E' ||
-                stripped[j - 1] == 'p' || stripped[j - 1] == 'P')))) {
-        ++j;
-      }
-      tokens.push_back({stripped.substr(i, j - i), line, true});
-      i = j;
-      continue;
-    }
-    if (is_ident_char(c)) {
-      std::size_t j = i;
-      while (j < stripped.size() && is_ident_char(stripped[j])) ++j;
-      tokens.push_back({stripped.substr(i, j - i), line, false});
-      i = j;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) == 0) {
-      tokens.push_back({std::string(1, c), line, false});
-    }
-    ++i;
+int list_rules() {
+  for (const auto& r : bf::sa::rule_registry()) {
+    std::printf("%-18s %-7s %s\n", r.id, bf::sa::severity_name(r.severity),
+                r.summary);
   }
-  return tokens;
-}
-
-/// True for a decimal floating literal with an f/F suffix (1.0f, 3.f,
-/// 1e-3f). Hex literals (0xFF) and integers are not flagged.
-bool is_float_literal(const std::string& t) {
-  if (t.size() < 2) return false;
-  if (t.back() != 'f' && t.back() != 'F') return false;
-  if (t.size() > 2 && (t[1] == 'x' || t[1] == 'X')) return false;  // hex
-  for (const char c : t) {
-    if (c == '.' || c == 'e' || c == 'E') return true;
-  }
-  return false;
-}
-
-const std::set<std::string> kRandTokens = {"rand", "srand", "drand48",
-                                           "random_shuffle"};
-const std::set<std::string> kParseTokens = {"atof",   "atoi",  "atol",
-                                            "strtod", "strtof", "stod",
-                                            "stof",   "stoi",   "stol"};
-
-void scan_file(const fs::path& path, std::vector<Finding>& findings) {
-  std::ifstream is(path);
-  if (!is.good()) {
-    findings.push_back({path.string(), 0, "io", "cannot read file"});
-    return;
-  }
-  std::ostringstream buf;
-  buf << is.rdbuf();
-  const std::string src = buf.str();
-  const std::string stripped = strip_comments_and_strings(src);
-
-  // Raw lines, for suppression comments.
-  std::vector<std::string> lines;
-  {
-    std::istringstream ls(src);
-    std::string line;
-    while (std::getline(ls, line)) lines.push_back(line);
-  }
-  const auto suppressed = [&lines](int line, const std::string& rule) {
-    if (line < 1 || line > static_cast<int>(lines.size())) return false;
-    const std::string& l = lines[static_cast<std::size_t>(line - 1)];
-    return l.find("bf-lint: allow(" + rule + ")") != std::string::npos;
-  };
-  const auto report = [&](int line, const std::string& rule,
-                          const std::string& message) {
-    if (suppressed(line, rule)) return;
-    findings.push_back({path.string(), line, rule, message});
-  };
-
-  if (path.extension() == ".hpp" &&
-      stripped.find("#pragma once") == std::string::npos) {
-    report(1, "pragma-once", "header is missing #pragma once");
-  }
-
-  // The run repository must never be written through a bare ofstream: a
-  // crash mid-write leaves a torn entry behind. Everything under the
-  // profiling layer goes through bf::atomic_write_file instead.
-  const bool repository_layer =
-      path.generic_string().find("/profiling/") != std::string::npos ||
-      path.filename().string().find("repository") != std::string::npos;
-
-  // Prediction consumers (the core pipeline and the CLI tools) must go
-  // through the guard layer's supervised entry points; the few audited
-  // raw-query exits carry explicit allow() suppressions.
-  const bool guard_scope =
-      path.generic_string().find("/core/") != std::string::npos ||
-      path.generic_string().find("/tools/") != std::string::npos;
-
-  const std::vector<Token> tokens = tokenize(stripped);
-  for (std::size_t i = 0; i < tokens.size(); ++i) {
-    const Token& t = tokens[i];
-    if (t.is_number) {
-      if (is_float_literal(t.text)) {
-        report(t.line, "float-literal",
-               "float literal '" + t.text +
-                   "' in double-precision code (drop the f suffix)");
-      }
-      continue;
-    }
-    if (t.text == "new") {
-      report(t.line, "raw-new",
-             "raw new (use std::make_unique / containers)");
-    } else if (t.text == "delete") {
-      const bool deleted_member = i > 0 && tokens[i - 1].text == "=";
-      if (!deleted_member) {
-        report(t.line, "raw-delete",
-               "raw delete (owning types must use RAII)");
-      }
-    } else if (kRandTokens.count(t.text) != 0) {
-      report(t.line, "no-rand",
-             "'" + t.text + "' is unseeded/non-reproducible (use bf::Rng)");
-    } else if (kParseTokens.count(t.text) != 0) {
-      report(t.line, "unchecked-parse",
-             "'" + t.text +
-                 "' swallows trailing garbage (use bf::parse_double / "
-                 "bf::parse_int / CsvTable)");
-    } else if (repository_layer && t.text == "ofstream") {
-      report(t.line, "atomic-write",
-             "direct ofstream write in the repository layer can tear "
-             "entries on crash (use bf::atomic_write_file)");
-    } else if (guard_scope && t.text == "predict_row") {
-      report(t.line, "guarded-predict",
-             "direct per-row model query bypasses the guard layer (use "
-             "ProblemScalingPredictor::predict_guarded / "
-             "CounterModels::predict_kind)");
-    } else if (path.extension() == ".cpp" && t.text == "load" &&
-               i + 1 < tokens.size() && tokens[i + 1].text == "(") {
-      // A reader definition: `load(` with an istream parameter close by
-      // (declarations live in headers, call sites pass a value, so only
-      // .cpp definitions match). The function must consult the format
-      // version before parsing any field.
-      bool is_reader = false;
-      for (std::size_t j = i + 2; j < tokens.size() && j <= i + 6; ++j) {
-        if (tokens[j].text == "istream") {
-          is_reader = true;
-          break;
-        }
-      }
-      if (is_reader) {
-        bool versioned = false;
-        for (std::size_t j = i; j < tokens.size() && j <= i + 200; ++j) {
-          if (tokens[j].text == "read_format_version" ||
-              tokens[j].text == "format_version") {
-            versioned = true;
-            break;
-          }
-        }
-        if (!versioned) {
-          report(t.line, "artifact-version",
-                 "serialized-struct reader does not check the format "
-                 "version before parsing (call bf::read_format_version "
-                 "first)");
-        }
-      }
-    } else if (guard_scope && t.text == "predict" && i >= 2 &&
-               tokens[i - 1].text == "." &&
-               (tokens[i - 2].text == "forest_" ||
-                (i >= 4 && tokens[i - 2].text == ")" &&
-                 tokens[i - 3].text == "(" &&
-                 tokens[i - 4].text == "forest"))) {
-      report(t.line, "guarded-predict",
-             "direct forest prediction bypasses the guard layer (use "
-             "ProblemScalingPredictor::predict_guarded)");
-    }
-  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: bf_lint DIR [DIR...]\n");
+  bf::sa::AnalyzerOptions options;
+  std::string json_out;
+  bool want_json = false;
+  for (int a = 1; a < argc; ++a) {
+    const char* arg = argv[a];
+    const auto value = [&]() -> const char* {
+      if (a + 1 >= argc) return nullptr;
+      return argv[++a];
+    };
+    if (std::strcmp(arg, "--list-rules") == 0) return list_rules();
+    if (std::strcmp(arg, "--baseline") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.baseline_path = v;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      json_out = v;
+      want_json = true;
+    } else if (std::strcmp(arg, "--exclude") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.excludes.push_back(v);
+    } else if (std::strcmp(arg, "--repo-root") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      options.repo_root = v;
+    } else if (bf::starts_with(arg, "--")) {
+      std::fprintf(stderr, "bf_lint: unknown option: %s\n", arg);
+      return usage();
+    } else {
+      options.roots.push_back(arg);
+    }
+  }
+  if (options.roots.empty()) return usage();
+
+  bf::sa::AnalysisReport report;
+  try {
+    report = bf::sa::analyze(options);
+  } catch (const bf::Error& e) {
+    std::fprintf(stderr, "bf_lint: %s\n", e.what());
     return 2;
   }
-  std::vector<Finding> findings;
-  std::size_t files = 0;
-  for (int a = 1; a < argc; ++a) {
-    const fs::path root(argv[a]);
-    if (!fs::exists(root)) {
-      std::fprintf(stderr, "bf_lint: no such path: %s\n", argv[a]);
-      return 2;
-    }
-    std::vector<fs::path> paths;
-    if (fs::is_regular_file(root)) {
-      paths.push_back(root);
+
+  const std::string text =
+      bf::sa::render_text(report.findings, report.stats);
+  std::fputs(text.c_str(), stdout);
+
+  if (want_json) {
+    const std::string json =
+        bf::sa::render_json(report.findings, report.stats);
+    if (json_out == "-") {
+      std::fputs(json.c_str(), stdout);
     } else {
-      for (const auto& entry : fs::recursive_directory_iterator(root)) {
-        if (!entry.is_regular_file()) continue;
-        const auto ext = entry.path().extension();
-        if (ext == ".hpp" || ext == ".cpp") paths.push_back(entry.path());
+      try {
+        bf::atomic_write_file(json_out, json);
+      } catch (const bf::Error& e) {
+        std::fprintf(stderr, "bf_lint: %s\n", e.what());
+        return 2;
       }
     }
-    for (const auto& p : paths) {
-      ++files;
-      scan_file(p, findings);
-    }
   }
-  for (const auto& f : findings) {
-    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
-                f.message.c_str());
-  }
-  if (!findings.empty()) {
-    std::printf("bf_lint: %zu violation(s) in %zu file(s) scanned\n",
-                findings.size(), files);
-    return 1;
-  }
-  std::printf("bf_lint: clean (%zu files scanned)\n", files);
-  return 0;
+  return report.findings.empty() ? 0 : 1;
 }

@@ -4,8 +4,9 @@
 #   tools/ci_check.sh [build-dir]
 #
 # Configures with BF_SANITIZE=undefined (fatal on any UB), builds
-# everything, runs the tier-1 ctest label under UBSan, then runs bf_lint
-# over src/, tools/ and examples/. Exits non-zero on the first failure.
+# everything, runs the tier-1 ctest label under UBSan, then runs the
+# bf::sa analyzer (bf_lint) over the whole tree with the committed
+# baseline. Exits non-zero on the first failure.
 set -eu
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -21,7 +22,10 @@ cmake --build "$BUILD" -j "$JOBS"
 echo "== tier-1 tests under UBSan =="
 ctest --test-dir "$BUILD" -L tier1 --output-on-failure -j "$JOBS"
 
-echo "== lint =="
-"$BUILD/tools/bf_lint" "$ROOT/src" "$ROOT/tools" "$ROOT/examples"
+echo "== static analysis (bf::sa) =="
+"$BUILD/tools/bf_lint" --repo-root "$ROOT" \
+  --baseline "$ROOT/bf_lint.baseline" \
+  --exclude "$ROOT/tests/sa_fixtures" \
+  "$ROOT/src" "$ROOT/tools" "$ROOT/examples" "$ROOT/tests" "$ROOT/bench"
 
 echo "ci_check: all gates passed"
