@@ -63,6 +63,12 @@ inline constexpr const char* kServeArtifactBitrot = "serve.artifact.bitrot";
 /// A model-registry disk load fails outright (I/O error); the cache must
 /// stay consistent and the next request for the key must retry.
 inline constexpr const char* kServeCacheLoadFail = "serve.cache.load_fail";
+/// The connection layer skips one ready reply-write round (a stalled
+/// socket); the reply must still be delivered on a later round.
+inline constexpr const char* kServeNetStall = "serve.net.stall";
+/// A freshly parsed request forcibly drops its connection (peer vanished
+/// mid-stream); other connections must be unaffected.
+inline constexpr const char* kServeNetDisconnect = "serve.net.disconnect";
 }  // namespace points
 
 struct PointStats {

@@ -17,8 +17,13 @@ namespace {
 /// the client used (string, number, bool). Containers are not echoed.
 std::string render_id(const JsonValue& v) {
   switch (v.type) {
-    case JsonValue::Type::kString:
-      return "\"" + json_escape(v.str) + "\"";
+    case JsonValue::Type::kString: {
+      std::string quoted;
+      quoted += '"';
+      quoted += json_escape(v.str);
+      quoted += '"';
+      return quoted;
+    }
     case JsonValue::Type::kNumber:
       return json_number(v.number);
     case JsonValue::Type::kBool:
@@ -28,15 +33,18 @@ std::string render_id(const JsonValue& v) {
   }
 }
 
-std::string error_reply(const std::string& id_json, const std::string& what) {
+}  // namespace
+
+std::string make_error_reply(const std::string& id_json,
+                             const std::string& code,
+                             const std::string& what) {
   std::ostringstream os;
   os << '{';
   if (!id_json.empty()) os << "\"id\":" << id_json << ',';
-  os << "\"ok\":false,\"error\":\"" << json_escape(what) << "\"}";
+  os << "\"ok\":false,\"code\":\"" << json_escape(code) << "\",\"error\":\""
+     << json_escape(what) << "\"}";
   return os.str();
 }
-
-}  // namespace
 
 struct Server::Request {
   bool valid = false;
@@ -47,6 +55,18 @@ struct Server::Request {
   std::string id_json;
   std::shared_ptr<const ModelBundle> bundle;
   std::string bundle_error;
+  /// Coalescing key: model + '\0' + canonical size rendering. Empty for
+  /// anything that is not a computable predict request.
+  std::string coalesce_key;
+};
+
+/// One prediction computed per distinct (model, size) in a batch; every
+/// request sharing the key renders its reply from the same result.
+struct Server::Computed {
+  bool ok = false;
+  std::string error;
+  guard::PredictionGuardRecord rec{};
+  double latency_us = 0.0;
 };
 
 Server::Server(const ServerOptions& options)
@@ -106,24 +126,12 @@ Server::Request Server::parse_request(const std::string& line) const {
   return req;
 }
 
-std::string Server::serve_request(Request& req) {
-  if (!req.valid) return error_reply(req.id_json, req.parse_error);
-  if (req.cmd == "stats") return stats_reply();
-  if (req.bundle == nullptr) {
-    return error_reply(req.id_json, req.bundle_error.empty()
-                                        ? "model unavailable"
-                                        : req.bundle_error);
+std::string Server::render_reply(const Request& req,
+                                 const Computed& result) const {
+  if (!result.ok) {
+    return make_error_reply(req.id_json, "predict_failed", result.error);
   }
-  const auto t0 = std::chrono::steady_clock::now();
-  guard::PredictionGuardRecord rec;
-  try {
-    rec = req.bundle->predictor.predict_guarded(req.size);
-  } catch (const std::exception& e) {
-    return error_reply(req.id_json, e.what());
-  }
-  const auto t1 = std::chrono::steady_clock::now();
-  const double latency_us =
-      std::chrono::duration<double, std::micro>(t1 - t0).count();
+  const guard::PredictionGuardRecord& rec = result.rec;
   std::ostringstream os;
   os << '{';
   if (!req.id_json.empty()) os << "\"id\":" << req.id_json << ',';
@@ -134,7 +142,7 @@ std::string Server::serve_request(Request& req) {
      << ",\"interval_hi_ms\":" << json_number(rec.hi) << ",\"grade\":\""
      << guard::grade_letter(rec.grade) << "\",\"extrapolated\":"
      << (rec.extrapolated ? "true" : "false")
-     << ",\"latency_us\":" << json_number(latency_us) << '}';
+     << ",\"latency_us\":" << json_number(result.latency_us) << '}';
   return os.str();
 }
 
@@ -144,6 +152,7 @@ std::string Server::stats_reply() const {
   os << "{\"ok\":true,\"cmd\":\"stats\",\"hits\":" << s.hits
      << ",\"misses\":" << s.misses << ",\"loads\":" << s.loads
      << ",\"evictions\":" << s.evictions << ",\"failures\":" << s.failures
+     << ",\"coalesced\":" << coalesced_.load(std::memory_order_relaxed)
      << ",\"resident\":[";
   bool first = true;
   for (const auto& name : registry_.resident()) {
@@ -151,7 +160,26 @@ std::string Server::stats_reply() const {
     first = false;
     os << '"' << json_escape(name) << '"';
   }
-  os << "]}";
+  os << "]";
+  if (net_ != nullptr) {
+    os << ",\"net\":{\"accepted\":"
+       << net_->accepted.load(std::memory_order_relaxed)
+       << ",\"active_conns\":"
+       << net_->active_conns.load(std::memory_order_relaxed)
+       << ",\"requests\":" << net_->requests.load(std::memory_order_relaxed)
+       << ",\"replies\":" << net_->replies.load(std::memory_order_relaxed)
+       << ",\"queue_depth\":"
+       << net_->queue_depth.load(std::memory_order_relaxed)
+       << ",\"shed\":" << net_->shed.load(std::memory_order_relaxed)
+       << ",\"timeouts\":" << net_->timeouts.load(std::memory_order_relaxed)
+       << ",\"disconnects\":"
+       << net_->disconnects.load(std::memory_order_relaxed)
+       << ",\"overloaded_conns\":"
+       << net_->overloaded_conns.load(std::memory_order_relaxed)
+       << ",\"accept_errors\":"
+       << net_->accept_errors.load(std::memory_order_relaxed) << '}';
+  }
+  os << '}';
   return os.str();
 }
 
@@ -191,16 +219,63 @@ std::vector<std::string> Server::handle_batch(
     }
   });
 
+  // Coalesce identical (model, size) rows: one computation per distinct
+  // key, every duplicate answered from it (with its own id echoed).
+  std::map<std::string, Computed> computed;
+  std::vector<const Request*> representative;
+  std::vector<std::string> keys;
+  std::uint64_t duplicates = 0;
   for (auto& req : requests) {
     if (!req.valid || req.cmd != "predict") continue;
     auto it = resolved.find(req.model);
     req.bundle = it->second.first;
     req.bundle_error = it->second.second;
+    if (req.bundle == nullptr) continue;
+    req.coalesce_key = req.model;
+    req.coalesce_key += '\0';
+    req.coalesce_key += json_number(req.size);
+    const auto [slot, inserted] = computed.emplace(req.coalesce_key,
+                                                   Computed{});
+    if (inserted) {
+      keys.push_back(req.coalesce_key);
+      representative.push_back(&req);
+    } else {
+      ++duplicates;
+    }
   }
+  if (duplicates > 0) {
+    coalesced_.fetch_add(duplicates, std::memory_order_relaxed);
+  }
+  pool_->parallel_for(0, keys.size(), [&](std::size_t i) {
+    Computed& slot = computed.find(keys[i])->second;
+    const Request& req = *representative[i];
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      slot.rec = req.bundle->predictor.predict_guarded(req.size);
+      slot.ok = true;
+    } catch (const std::exception& e) {
+      slot.error = e.what();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    slot.latency_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+  });
 
   std::vector<std::string> replies(requests.size());
   pool_->parallel_for(0, requests.size(), [&](std::size_t i) {
-    replies[i] = serve_request(requests[i]);
+    const Request& req = requests[i];
+    if (!req.valid) {
+      replies[i] = make_error_reply(req.id_json, "malformed", req.parse_error);
+    } else if (req.cmd == "stats") {
+      replies[i] = stats_reply();
+    } else if (req.bundle == nullptr) {
+      replies[i] = make_error_reply(req.id_json, "model_unavailable",
+                                    req.bundle_error.empty()
+                                        ? "model unavailable"
+                                        : req.bundle_error);
+    } else {
+      replies[i] = render_reply(req, computed.find(req.coalesce_key)->second);
+    }
   });
   return replies;
 }

@@ -9,22 +9,38 @@
 // A predict reply carries the guarded prediction: predicted time, the
 // per-tree interval, the confidence grade and the request's service
 // latency. Every failure — unknown model, corrupt bundle, malformed
-// JSON — degrades to an {"ok":false,"error":...} reply on that line;
-// the server itself never dies on bad input and the cache stays
-// consistent. Batches are grouped per model (one registry resolution
-// per distinct model) and fanned across the thread pool, with replies
-// emitted in input order.
+// JSON — degrades to an {"ok":false,"code":...,"error":...} reply on
+// that line; the server itself never dies on bad input and the cache
+// stays consistent. Batches are grouped per model (one registry
+// resolution per distinct model), identical (model, size) rows are
+// computed once per batch (coalescing), and the work is fanned across
+// the thread pool with replies emitted in input order.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "serve/net.hpp"
 #include "serve/registry.hpp"
 
 namespace bf::serve {
+
+/// Render the canonical failure reply:
+///   {"id":<id_json>,"ok":false,"code":"<code>","error":"<what>"}
+/// (the id field is omitted when id_json is empty). Stable codes:
+///   "malformed"          — the request line was not a valid request
+///   "model_unavailable"  — the named model could not be loaded
+///   "predict_failed"     — the model loaded but prediction threw
+///   "shed"               — refused by admission control (net layer)
+///   "timeout"            — abandoned by a deadline (net layer)
+std::string make_error_reply(const std::string& id_json,
+                             const std::string& code,
+                             const std::string& what);
 
 struct ServerOptions {
   std::string model_dir = ".";
@@ -48,16 +64,29 @@ class Server {
 
   ModelRegistry& registry() { return registry_; }
 
+  /// Let `{"cmd":"stats"}` replies include the connection layer's
+  /// counters. The pointed-to counters must outlive the server (the
+  /// NetServer owns them and owns this server's lifetime in bf_serve).
+  void attach_net(const NetCounters* counters) { net_ = counters; }
+
+  /// Duplicate (model, size) rows answered from one computation.
+  std::uint64_t coalesced() const {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Request;
+  struct Computed;
 
   Request parse_request(const std::string& line) const;
-  std::string serve_request(Request& req);
+  std::string render_reply(const Request& req, const Computed& result) const;
   std::string stats_reply() const;
 
   ModelRegistry registry_;
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;
+  const NetCounters* net_ = nullptr;
+  std::atomic<std::uint64_t> coalesced_{0};
 };
 
 }  // namespace bf::serve

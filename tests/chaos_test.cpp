@@ -28,6 +28,7 @@
 #include "profiling/repository.hpp"
 #include "profiling/sweep.hpp"
 #include "profiling/workloads.hpp"
+#include "net_test_util.hpp"
 #include "serve/artifact.hpp"
 #include "serve/json.hpp"
 #include "serve/server.hpp"
@@ -565,6 +566,66 @@ TEST_F(ChaosServe, TransientLoadFailureRecoversOnRetry) {
   EXPECT_GT(reply.find("predicted_ms")->number, 0.0);
   EXPECT_EQ(server.registry().stats().failures, 1u);
   EXPECT_EQ(server.registry().stats().loads, 2u);
+}
+
+TEST_F(ChaosServe, NetDisconnectFaultDropsOneConnectionOnly) {
+  serve::ServerOptions options;
+  options.model_dir = dir_.string();
+  serve::Server server(options);
+  serve::NetServerOptions net_options;
+  net_options.unix_path = (dir_ / "chaos.sock").string();
+  net_options.workers = 1;
+  serve::testutil::RunningNetServer running(server, net_options);
+
+  // The armed point forces the victim's parsed request to drop its
+  // connection — the "peer vanished mid-stream" path, deterministically.
+  {
+    const fault::ScopedFaults faults("serve.net.disconnect:1.0:1");
+    serve::testutil::TestClient victim =
+        serve::testutil::TestClient::connect_unix(net_options.unix_path);
+    ASSERT_TRUE(victim.send_line(
+        R"({"model":"reduce1","size":65536,"id":"victim"})"));
+    EXPECT_TRUE(victim.eof_within());
+    EXPECT_GT(fault::stats(fault::points::kServeNetDisconnect).fired, 0u);
+  }
+
+  // The server survived and other connections see correct replies.
+  serve::testutil::TestClient client =
+      serve::testutil::TestClient::connect_unix(net_options.unix_path);
+  ASSERT_TRUE(client.send_line(
+      R"({"model":"reduce1","size":65536,"id":"ok"})"));
+  std::string reply;
+  ASSERT_TRUE(client.read_line(reply));
+  const auto parsed = serve::parse_json(reply);
+  EXPECT_TRUE(parsed.find("ok")->boolean) << reply;
+  EXPECT_EQ(parsed.find("id")->str, "ok");
+  EXPECT_EQ(running.counters().disconnects.load(), 1u);
+  EXPECT_EQ(running.stop(), 0);
+}
+
+TEST_F(ChaosServe, NetStallFaultDelaysButEveryReplyArrives) {
+  serve::ServerOptions options;
+  options.model_dir = dir_.string();
+  serve::Server server(options);
+  serve::NetServerOptions net_options;
+  net_options.unix_path = (dir_ / "chaos.sock").string();
+  net_options.workers = 1;
+  serve::testutil::RunningNetServer running(server, net_options);
+
+  const fault::ScopedFaults faults("serve.net.stall:1.0:3");
+  serve::testutil::TestClient client =
+      serve::testutil::TestClient::connect_unix(net_options.unix_path);
+  for (const std::string id : {"s1", "s2"}) {
+    ASSERT_TRUE(client.send_line(
+        "{\"model\":\"reduce1\",\"size\":65536,\"id\":\"" + id + "\"}"));
+    std::string reply;
+    ASSERT_TRUE(client.read_line(reply)) << "stall swallowed reply " << id;
+    const auto parsed = serve::parse_json(reply);
+    EXPECT_TRUE(parsed.find("ok")->boolean) << reply;
+    EXPECT_EQ(parsed.find("id")->str, id);
+  }
+  EXPECT_GT(fault::stats(fault::points::kServeNetStall).fired, 0u);
+  EXPECT_EQ(running.stop(), 0);
 }
 
 // ---- size-grid hygiene (rides along with the failure policy) ----

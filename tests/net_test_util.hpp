@@ -1,0 +1,180 @@
+// Shared helpers for the connection-layer tests: a blocking NDJSON test
+// client (Unix or TCP) and a NetServer running on a background thread.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+#include "serve/conn.hpp"
+#include "serve/net.hpp"
+#include "serve/server.hpp"
+
+namespace bf::serve::testutil {
+
+/// A deliberately simple blocking client: the tests drive precise byte
+/// sequences (partial requests, slow dribbles, half-closes) against the
+/// non-blocking server.
+class TestClient {
+ public:
+  static TestClient connect_unix(const std::string& path) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    BF_CHECK_MSG(fd >= 0, "socket(AF_UNIX): " << std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    BF_CHECK_MSG(path.size() < sizeof(addr.sun_path), "path too long");
+    path.copy(addr.sun_path, path.size());
+    BF_CHECK_MSG(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0,
+                 "connect(" << path << "): " << std::strerror(errno));
+    return TestClient(fd);
+  }
+
+  static TestClient connect_tcp(const std::string& host, std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    BF_CHECK_MSG(fd >= 0, "socket(AF_INET): " << std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    BF_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                 "bad host: " << host);
+    BF_CHECK_MSG(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0,
+                 "connect(" << host << ":" << port
+                            << "): " << std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return TestClient(fd);
+  }
+
+  explicit TestClient(int fd) : fd_(fd) {}
+  ~TestClient() { close(); }
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+  TestClient(TestClient&& other) noexcept
+      : fd_(other.fd_), buf_(std::move(other.buf_)) {
+    other.fd_ = -1;
+  }
+
+  bool send_raw(const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const int w = send_some(fd_, data.data() + off, data.size() - off);
+      if (w > 0) {
+        off += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w == kIoWouldBlock) continue;  // blocking fd: cannot happen
+      return false;
+    }
+    return true;
+  }
+
+  bool send_line(const std::string& line) { return send_raw(line + "\n"); }
+
+  /// Read one complete reply line within timeout_ms; false on timeout,
+  /// EOF or error without a complete line pending.
+  bool read_line(std::string& line, int timeout_ms = 5000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (true) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return false;
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) return false;
+      char chunk[4096];
+      const int r = read_some(fd_, chunk, sizeof(chunk));
+      if (r > 0) {
+        buf_.append(chunk, static_cast<std::size_t>(r));
+        continue;
+      }
+      if (r == kIoWouldBlock) continue;
+      return false;
+    }
+  }
+
+  /// True when the server closes our end within timeout_ms (any buffered
+  /// bytes are drained first).
+  bool eof_within(int timeout_ms = 5000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (true) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return false;
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) return false;
+      char chunk[4096];
+      const int r = read_some(fd_, chunk, sizeof(chunk));
+      if (r == kIoEof) return true;
+      if (r == kIoPeerGone) return true;  // reset also counts as closed
+      if (r > 0) buf_.append(chunk, static_cast<std::size_t>(r));
+    }
+  }
+
+  void shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+
+/// A NetServer serving on a background thread; stop() drains it and
+/// returns run()'s exit code.
+class RunningNetServer {
+ public:
+  RunningNetServer(Server& server, const NetServerOptions& options)
+      : net_(server, options) {
+    server.attach_net(&net_.counters());
+    thread_ = std::thread([this] { rc_ = net_.run(); });
+  }
+
+  ~RunningNetServer() {
+    if (thread_.joinable()) stop();
+  }
+
+  int stop() {
+    net_.request_stop();
+    thread_.join();
+    return rc_;
+  }
+
+  NetServer& net() { return net_; }
+  const NetCounters& counters() const { return net_.counters(); }
+
+ private:
+  NetServer net_;
+  std::thread thread_;
+  int rc_ = -1;
+};
+
+}  // namespace bf::serve::testutil

@@ -1,0 +1,81 @@
+#!/bin/sh
+# End-to-end socket serving under load: train + export a bundle, start
+# bf_serve on a Unix socket, drive it with bf_loadgen (concurrent
+# connections plus a deliberately slow client and a mid-request
+# disconnector), validate BENCH_serve.json, then SIGTERM the server and
+# require a graceful drain (exit 0). Run by ctest as
+#   serve_loadgen_e2e.sh <bf_analyze> <bf_serve> <bf_loadgen>
+set -eu
+
+BF_ANALYZE=$1
+BF_SERVE=$2
+BF_LOADGEN=$3
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/bf_loadgen_e2e.XXXXXX")
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_loadgen_e2e: FAIL: $1" >&2
+  [ -f "$WORK/serve.log" ] && cat "$WORK/serve.log" >&2
+  exit 1
+}
+
+# --- train once, export a bundle ---
+"$BF_ANALYZE" --workload reduce1 --runs 8 --trees 30 \
+    --min 16384 --max 1048576 \
+    --export-model "$WORK/reduce1.bfmodel" >/dev/null
+
+# --- start the server on a Unix socket ---
+SOCK="$WORK/bf.sock"
+"$BF_SERVE" --model-dir "$WORK" --socket "$SOCK" \
+    --max-queue 64 --timeout-ms 10000 --drain-ms 3000 \
+    2>"$WORK/serve.log" &
+SERVE_PID=$!
+
+# Wait for the listener (the socket file appears once bound).
+tries=0
+while [ ! -S "$SOCK" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -gt 100 ] && fail "server never bound $SOCK"
+  kill -0 "$SERVE_PID" 2>/dev/null || fail "server died during startup"
+  sleep 0.1
+done
+
+# --- drive it: measured traffic + slow + disconnecting chaos clients ---
+BENCH="$WORK/BENCH_serve.json"
+"$BF_LOADGEN" --socket "$SOCK" --model reduce1 \
+    --requests 200 --conns 4 --qps 400 \
+    --slow 1 --disconnect 1 --seed 7 \
+    --out "$BENCH" >/dev/null \
+    || fail "bf_loadgen reported no successful requests"
+
+[ -f "$BENCH" ] || fail "BENCH_serve.json was not written"
+
+# --- structural checks on the report ---
+check() {
+  grep -q "$1" "$BENCH" || fail "BENCH_serve.json lacks $1 ($(cat "$BENCH"))"
+}
+check '"bench":"serve"'
+check '"ok":200'
+check '"no_reply":0'
+check '"disconnects_done":1'
+check '"slow_ok":1'
+grep -q '"qps_achieved":0[,.}]' "$BENCH" && fail "qps_achieved is zero"
+grep -q '"p50":0[,}]' "$BENCH" && fail "p50 latency is zero"
+
+# The server must still be healthy after the chaos clients.
+kill -0 "$SERVE_PID" 2>/dev/null || fail "server died under load"
+
+# --- graceful drain: SIGTERM must finish in-flight work and exit 0 ---
+kill -TERM "$SERVE_PID"
+rc=0
+wait "$SERVE_PID" || rc=$?
+[ "$rc" -eq 0 ] || fail "drain exited $rc, want 0"
+SERVE_PID=""
+[ -S "$SOCK" ] && fail "socket file survived the drain"
+
+echo "serve_loadgen_e2e: OK"

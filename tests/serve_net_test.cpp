@@ -1,0 +1,518 @@
+// The fleet-shaped connection layer (serve/net.hpp + serve/conn.hpp):
+// pipelined ordered replies, concurrent clients, admission control with
+// explicit shedding, per-connection timeouts, mid-request disconnects
+// (the SIGPIPE regression), graceful drain, and the stats surface.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "core/predictor.hpp"
+#include "gpusim/arch.hpp"
+#include "net_test_util.hpp"
+#include "profiling/sweep.hpp"
+#include "profiling/workloads.hpp"
+#include "serve/artifact.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
+
+namespace bf {
+namespace {
+
+namespace fs = std::filesystem;
+using serve::testutil::RunningNetServer;
+using serve::testutil::TestClient;
+
+// One small trained predictor shared by every test in this binary; the
+// serving layer only reads it and training dominates the runtime.
+const core::ProblemScalingPredictor& trained_predictor() {
+  static const core::ProblemScalingPredictor p = [] {
+    const gpusim::Device dev(gpusim::arch_by_name("gtx580"));
+    const ml::Dataset sweep = profiling::sweep(
+        profiling::workload_by_name("reduce1"), dev,
+        profiling::log2_sizes(1 << 14, 1 << 20, 8, 256));
+    core::ProblemScalingOptions pso;
+    pso.model.forest.n_trees = 30;
+    pso.arch = gpusim::arch_by_name("gtx580");
+    return core::ProblemScalingPredictor::build(sweep, pso);
+  }();
+  return p;
+}
+
+/// Spin until pred() holds (condition signalled from the server's I/O
+/// or worker threads) or the deadline passes.
+bool wait_until(const std::function<bool()>& pred, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+/// A one-shot latch the overload tests use to pin the (single) worker
+/// inside a batch while the I/O thread keeps admitting and shedding.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<int> entered{0};
+
+  void wait_at_gate() {
+    entered.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return open; });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+};
+
+class ServeNetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("bf_net_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    serve::export_model((dir_ / "reduce1.bfmodel").string(), "reduce1",
+                        "reduce1", "gtx580", 8, trained_predictor());
+    server_options_.model_dir = dir_.string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string socket_path() const { return (dir_ / "bf.sock").string(); }
+
+  serve::NetServerOptions net_options() const {
+    serve::NetServerOptions o;
+    o.unix_path = socket_path();
+    o.workers = 2;
+    return o;
+  }
+
+  static std::string predict_line(double size, const std::string& id) {
+    return "{\"model\":\"reduce1\",\"size\":" + serve::json_number(size) +
+           ",\"id\":\"" + id + "\"}";
+  }
+
+  serve::ServerOptions server_options_;
+  fs::path dir_;
+};
+
+TEST_F(ServeNetTest, PipelinedLinesAnsweredInOrderWithoutHalfClose) {
+  serve::Server server(server_options_);
+  RunningNetServer running(server, net_options());
+
+  TestClient client = TestClient::connect_unix(socket_path());
+  // Three pipelined requests in one write; no shutdown, no EOF.
+  ASSERT_TRUE(client.send_raw(predict_line(65536, "a") + "\n" +
+                              predict_line(131072, "b") + "\n" +
+                              predict_line(262144, "c") + "\n"));
+  for (const std::string id : {"a", "b", "c"}) {
+    std::string reply;
+    ASSERT_TRUE(client.read_line(reply)) << "no reply for id " << id;
+    const auto parsed = serve::parse_json(reply);
+    EXPECT_TRUE(parsed.find("ok")->boolean) << reply;
+    EXPECT_EQ(parsed.find("id")->str, id);
+  }
+  // The connection is still usable afterwards.
+  ASSERT_TRUE(client.send_line(predict_line(65536, "d")));
+  std::string reply;
+  ASSERT_TRUE(client.read_line(reply));
+  EXPECT_EQ(serve::parse_json(reply).find("id")->str, "d");
+  client.close();
+  EXPECT_EQ(running.stop(), 0);
+}
+
+TEST_F(ServeNetTest, HalfCloseWithoutTrailingNewlineStillAnswers) {
+  serve::Server server(server_options_);
+  RunningNetServer running(server, net_options());
+
+  TestClient client = TestClient::connect_unix(socket_path());
+  // The PR-5 protocol: send everything, half-close, read replies. The
+  // final line deliberately lacks its newline.
+  ASSERT_TRUE(client.send_raw(predict_line(65536, "x") + "\n" +
+                              predict_line(131072, "y")));
+  client.shutdown_write();
+  std::string reply;
+  ASSERT_TRUE(client.read_line(reply));
+  EXPECT_EQ(serve::parse_json(reply).find("id")->str, "x");
+  ASSERT_TRUE(client.read_line(reply));
+  EXPECT_EQ(serve::parse_json(reply).find("id")->str, "y");
+  EXPECT_TRUE(client.eof_within());
+  EXPECT_EQ(running.stop(), 0);
+}
+
+TEST_F(ServeNetTest, ConcurrentClientsEachGetOrderedReplies) {
+  serve::Server server(server_options_);
+  RunningNetServer running(server, net_options());
+
+  constexpr int kClients = 6;
+  constexpr int kRequests = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    // bf-lint: allow(capture-escape) — joined before every capture dies
+    threads.emplace_back([&, c] {
+      try {
+        TestClient client = TestClient::connect_unix(socket_path());
+        // Pipeline everything, then read all replies back in order.
+        std::string burst;
+        for (int k = 0; k < kRequests; ++k) {
+          burst += predict_line(65536 * (1 + k % 4),
+                                std::to_string(c) + ":" + std::to_string(k));
+          burst += '\n';
+        }
+        if (!client.send_raw(burst)) {
+          ++failures;
+          return;
+        }
+        for (int k = 0; k < kRequests; ++k) {
+          std::string reply;
+          if (!client.read_line(reply)) {
+            ++failures;
+            return;
+          }
+          const auto parsed = serve::parse_json(reply);
+          const std::string want =
+              std::to_string(c) + ":" + std::to_string(k);
+          if (!parsed.find("ok")->boolean || parsed.find("id")->str != want) {
+            ++failures;
+          }
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(running.counters().requests.load(),
+            static_cast<std::uint64_t>(kClients * kRequests));
+  EXPECT_EQ(running.counters().replies.load(),
+            static_cast<std::uint64_t>(kClients * kRequests));
+  EXPECT_EQ(running.stop(), 0);
+}
+
+TEST_F(ServeNetTest, SlowClientDoesNotStallOthers) {
+  serve::Server server(server_options_);
+  RunningNetServer running(server, net_options());
+
+  TestClient slow = TestClient::connect_unix(socket_path());
+  const std::string line = predict_line(65536, "slow") + "\n";
+  // Dribble the first half of a request, then pause mid-line.
+  ASSERT_TRUE(slow.send_raw(line.substr(0, line.size() / 2)));
+
+  // A well-behaved client gets served while the slow one is mid-line.
+  TestClient fast = TestClient::connect_unix(socket_path());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int k = 0; k < 5; ++k) {
+    ASSERT_TRUE(fast.send_line(predict_line(65536, std::to_string(k))));
+    std::string reply;
+    ASSERT_TRUE(fast.read_line(reply));
+    EXPECT_TRUE(serve::parse_json(reply).find("ok")->boolean);
+  }
+  const double fast_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  EXPECT_LT(fast_ms, 2000.0);  // nowhere near the slow client's pace
+
+  // The slow client eventually completes and is answered too.
+  ASSERT_TRUE(slow.send_raw(line.substr(line.size() / 2)));
+  std::string reply;
+  ASSERT_TRUE(slow.read_line(reply));
+  EXPECT_EQ(serve::parse_json(reply).find("id")->str, "slow");
+  EXPECT_EQ(running.stop(), 0);
+}
+
+TEST_F(ServeNetTest, SaturatedQueueShedsNewRequestsImmediately) {
+  serve::Server server(server_options_);
+  Gate gate;
+  serve::NetServerOptions options = net_options();
+  options.workers = 1;
+  options.max_queue = 2;
+  options.before_batch = [&gate] { gate.wait_at_gate(); };
+  RunningNetServer running(server, options);
+
+  // Two admitted requests pin the single worker at the gate and fill
+  // the queue to max_queue.
+  TestClient filler = TestClient::connect_unix(socket_path());
+  ASSERT_TRUE(filler.send_raw(predict_line(65536, "f1") + "\n" +
+                              predict_line(131072, "f2") + "\n"));
+  ASSERT_TRUE(wait_until(
+      [&] { return running.counters().requests.load() >= 2; }));
+  ASSERT_TRUE(wait_until([&] { return gate.entered.load() >= 1; }));
+
+  // A well-behaved client is shed explicitly, within its timeout, while
+  // the queue is saturated — not queued without bound, not blocked.
+  TestClient victim = TestClient::connect_unix(socket_path());
+  ASSERT_TRUE(victim.send_line(predict_line(65536, "v")));
+  std::string reply;
+  ASSERT_TRUE(victim.read_line(reply, 2000));
+  const auto parsed = serve::parse_json(reply);
+  EXPECT_FALSE(parsed.find("ok")->boolean);
+  EXPECT_EQ(parsed.find("code")->str, "shed");
+  EXPECT_EQ(running.counters().shed.load(), 1u);
+  EXPECT_EQ(running.counters().queue_depth.load(), 2u);
+
+  // Release the worker: the filler's admitted requests complete fine.
+  gate.release();
+  for (const std::string id : {"f1", "f2"}) {
+    ASSERT_TRUE(filler.read_line(reply));
+    const auto ok = serve::parse_json(reply);
+    EXPECT_TRUE(ok.find("ok")->boolean) << reply;
+    EXPECT_EQ(ok.find("id")->str, id);
+  }
+  EXPECT_EQ(running.counters().queue_depth.load(), 0u);
+  EXPECT_EQ(running.stop(), 0);
+}
+
+TEST_F(ServeNetTest, MidRequestDisconnectDoesNotKillServerOrOthers) {
+  serve::Server server(server_options_);
+  Gate gate;
+  serve::NetServerOptions options = net_options();
+  options.workers = 1;
+  options.before_batch = [&gate] { gate.wait_at_gate(); };
+  RunningNetServer running(server, options);
+
+  // The victim's request reaches the worker; the peer then vanishes
+  // before the reply is written — the classic SIGPIPE kill in the old
+  // accept-loop server.
+  {
+    TestClient vanishing = TestClient::connect_unix(socket_path());
+    ASSERT_TRUE(vanishing.send_line(predict_line(65536, "gone")));
+    ASSERT_TRUE(wait_until([&] { return gate.entered.load() >= 1; }));
+    vanishing.close();
+  }
+  gate.release();
+
+  // The server survived: a fresh client is served normally.
+  TestClient client = TestClient::connect_unix(socket_path());
+  ASSERT_TRUE(client.send_line(predict_line(65536, "alive")));
+  std::string reply;
+  ASSERT_TRUE(client.read_line(reply));
+  const auto parsed = serve::parse_json(reply);
+  EXPECT_TRUE(parsed.find("ok")->boolean) << reply;
+  EXPECT_EQ(parsed.find("id")->str, "alive");
+  EXPECT_EQ(running.stop(), 0);
+}
+
+TEST_F(ServeNetTest, IdleConnectionIsTimedOutAndCounted) {
+  serve::Server server(server_options_);
+  serve::NetServerOptions options = net_options();
+  options.timeout_ms = 100;
+  RunningNetServer running(server, options);
+
+  TestClient idle = TestClient::connect_unix(socket_path());
+  EXPECT_TRUE(idle.eof_within(5000));  // server hangs up on us
+  EXPECT_TRUE(wait_until(
+      [&] { return running.counters().timeouts.load() >= 1; }));
+  EXPECT_EQ(running.stop(), 0);
+}
+
+TEST_F(ServeNetTest, ConnectionLimitRefusesWithExplicitReply) {
+  serve::Server server(server_options_);
+  serve::NetServerOptions options = net_options();
+  options.max_conns = 1;
+  RunningNetServer running(server, options);
+
+  TestClient first = TestClient::connect_unix(socket_path());
+  ASSERT_TRUE(first.send_line(predict_line(65536, "one")));
+  std::string reply;
+  ASSERT_TRUE(first.read_line(reply));
+  EXPECT_TRUE(serve::parse_json(reply).find("ok")->boolean);
+
+  TestClient refused = TestClient::connect_unix(socket_path());
+  ASSERT_TRUE(refused.read_line(reply));
+  const auto parsed = serve::parse_json(reply);
+  EXPECT_FALSE(parsed.find("ok")->boolean);
+  EXPECT_EQ(parsed.find("code")->str, "shed");
+  EXPECT_TRUE(refused.eof_within());
+  EXPECT_EQ(running.counters().overloaded_conns.load(), 1u);
+
+  // The established client is unaffected.
+  ASSERT_TRUE(first.send_line(predict_line(65536, "two")));
+  ASSERT_TRUE(first.read_line(reply));
+  EXPECT_TRUE(serve::parse_json(reply).find("ok")->boolean);
+  EXPECT_EQ(running.stop(), 0);
+}
+
+TEST_F(ServeNetTest, OversizedRequestLineGetsMalformedReplyAndClose) {
+  serve::Server server(server_options_);
+  serve::NetServerOptions options = net_options();
+  options.max_line = 64;
+  RunningNetServer running(server, options);
+
+  TestClient client = TestClient::connect_unix(socket_path());
+  ASSERT_TRUE(client.send_raw(std::string(300, 'x')));  // no newline needed
+  std::string reply;
+  ASSERT_TRUE(client.read_line(reply));
+  const auto parsed = serve::parse_json(reply);
+  EXPECT_FALSE(parsed.find("ok")->boolean);
+  EXPECT_EQ(parsed.find("code")->str, "malformed");
+  EXPECT_TRUE(client.eof_within());
+  EXPECT_EQ(running.stop(), 0);
+}
+
+TEST_F(ServeNetTest, DrainFinishesInFlightRequestsAndExitsZero) {
+  serve::Server server(server_options_);
+  Gate gate;
+  serve::NetServerOptions options = net_options();
+  options.workers = 1;
+  options.before_batch = [&gate] { gate.wait_at_gate(); };
+  RunningNetServer running(server, options);
+
+  TestClient client = TestClient::connect_unix(socket_path());
+  ASSERT_TRUE(client.send_line(predict_line(65536, "inflight")));
+  ASSERT_TRUE(wait_until([&] { return gate.entered.load() >= 1; }));
+
+  // Stop while the request is mid-batch: the drain must deliver its
+  // reply, close the connection, and run() must return 0.
+  running.net().request_stop();
+  gate.release();
+  std::string reply;
+  ASSERT_TRUE(client.read_line(reply));
+  const auto parsed = serve::parse_json(reply);
+  EXPECT_TRUE(parsed.find("ok")->boolean) << reply;
+  EXPECT_EQ(parsed.find("id")->str, "inflight");
+  EXPECT_TRUE(client.eof_within());
+  EXPECT_EQ(running.stop(), 0);
+
+  // New connections were refused during the drain: the listener socket
+  // is gone from the filesystem.
+  EXPECT_FALSE(fs::exists(socket_path()));
+}
+
+TEST_F(ServeNetTest, DrainDeadlineAnswersStuckRequestsWithTimeout) {
+  serve::Server server(server_options_);
+  Gate gate;
+  serve::NetServerOptions options = net_options();
+  options.workers = 1;
+  options.drain_ms = 200;
+  options.before_batch = [&gate] { gate.wait_at_gate(); };
+  RunningNetServer running(server, options);
+
+  TestClient client = TestClient::connect_unix(socket_path());
+  // Two requests: the first pins the worker at the gate, the second
+  // stays queued and can never be answered before the drain deadline.
+  ASSERT_TRUE(client.send_raw(predict_line(65536, "stuck1") + "\n" +
+                              predict_line(131072, "stuck2") + "\n"));
+  ASSERT_TRUE(wait_until([&] { return gate.entered.load() >= 1; }));
+  running.net().request_stop();
+
+  // The drain deadline passes with the worker still stuck: the queued
+  // request is answered with an explicit timeout error. (The reply for
+  // the in-worker batch is lost — its connection is closed — which is
+  // exactly what the deadline promises.)
+  std::string reply;
+  const bool got_reply = client.read_line(reply, 2000);
+  if (got_reply) {
+    const auto parsed = serve::parse_json(reply);
+    EXPECT_FALSE(parsed.find("ok")->boolean);
+    EXPECT_EQ(parsed.find("code")->str, "timeout");
+  }
+  EXPECT_TRUE(client.eof_within());
+  gate.release();  // let the worker finish so stop() can join
+  EXPECT_EQ(running.stop(), 0);
+  EXPECT_GE(running.counters().timeouts.load(), 1u);
+}
+
+TEST_F(ServeNetTest, TcpListenerServesAndReportsEphemeralPort) {
+  serve::Server server(server_options_);
+  serve::NetServerOptions options;  // TCP only, no unix path
+  options.tcp_port = 0;
+  options.workers = 2;
+  RunningNetServer running(server, options);
+  ASSERT_GT(running.net().tcp_port(), 0);
+
+  TestClient client =
+      TestClient::connect_tcp("127.0.0.1", running.net().tcp_port());
+  ASSERT_TRUE(client.send_line(predict_line(65536, "tcp")));
+  std::string reply;
+  ASSERT_TRUE(client.read_line(reply));
+  const auto parsed = serve::parse_json(reply);
+  EXPECT_TRUE(parsed.find("ok")->boolean) << reply;
+  EXPECT_EQ(parsed.find("id")->str, "tcp");
+  client.close();
+  EXPECT_EQ(running.stop(), 0);
+}
+
+TEST_F(ServeNetTest, StatsReplyCarriesNetCounters) {
+  serve::Server server(server_options_);
+  RunningNetServer running(server, net_options());
+
+  TestClient client = TestClient::connect_unix(socket_path());
+  ASSERT_TRUE(client.send_line(predict_line(65536, "warm")));
+  std::string reply;
+  ASSERT_TRUE(client.read_line(reply));
+  ASSERT_TRUE(client.send_line("{\"cmd\":\"stats\"}"));
+  ASSERT_TRUE(client.read_line(reply));
+  const auto parsed = serve::parse_json(reply);
+  EXPECT_TRUE(parsed.find("ok")->boolean);
+  const serve::JsonValue* net = parsed.find("net");
+  ASSERT_NE(net, nullptr) << reply;
+  EXPECT_EQ(net->find("accepted")->number, 1.0);
+  EXPECT_EQ(net->find("active_conns")->number, 1.0);
+  EXPECT_GE(net->find("requests")->number, 2.0);
+  EXPECT_EQ(net->find("shed")->number, 0.0);
+  EXPECT_NE(parsed.find("coalesced"), nullptr);
+  EXPECT_EQ(running.stop(), 0);
+}
+
+// ---- fault points (chaos drives these deterministically) ----
+
+TEST_F(ServeNetTest, NetDisconnectFaultDropsOnlyThatConnection) {
+  serve::Server server(server_options_);
+  RunningNetServer running(server, net_options());
+
+  const fault::ScopedFaults faults("serve.net.disconnect:1.0:1");
+  TestClient victim = TestClient::connect_unix(socket_path());
+  ASSERT_TRUE(victim.send_line(predict_line(65536, "doomed")));
+  EXPECT_TRUE(victim.eof_within());  // dropped without a reply
+  EXPECT_TRUE(wait_until(
+      [&] { return running.counters().disconnects.load() >= 1; }));
+
+  // The fault budget is spent; other connections are untouched.
+  TestClient client = TestClient::connect_unix(socket_path());
+  ASSERT_TRUE(client.send_line(predict_line(65536, "fine")));
+  std::string reply;
+  ASSERT_TRUE(client.read_line(reply));
+  EXPECT_TRUE(serve::parse_json(reply).find("ok")->boolean) << reply;
+  EXPECT_GT(fault::stats(fault::points::kServeNetDisconnect).fired, 0u);
+  EXPECT_EQ(running.stop(), 0);
+}
+
+TEST_F(ServeNetTest, NetStallFaultDelaysButStillDelivers) {
+  serve::Server server(server_options_);
+  RunningNetServer running(server, net_options());
+
+  const fault::ScopedFaults faults("serve.net.stall:1.0:2");
+  TestClient client = TestClient::connect_unix(socket_path());
+  ASSERT_TRUE(client.send_line(predict_line(65536, "stalled")));
+  std::string reply;
+  ASSERT_TRUE(client.read_line(reply));  // later rounds deliver it
+  const auto parsed = serve::parse_json(reply);
+  EXPECT_TRUE(parsed.find("ok")->boolean) << reply;
+  EXPECT_EQ(parsed.find("id")->str, "stalled");
+  EXPECT_GT(fault::stats(fault::points::kServeNetStall).fired, 0u);
+  EXPECT_EQ(running.stop(), 0);
+}
+
+}  // namespace
+}  // namespace bf

@@ -297,6 +297,123 @@ TEST_F(ServeTest, ServerReplyIsBitIdenticalToDirectPrediction) {
   EXPECT_EQ(parsed.find("interval_hi_ms")->number, direct.hi);
 }
 
+// ---- request framing (serve/net.hpp) ----
+
+TEST(ServeFraming, SplitRequestsHandlesCrlfBlanksAndMissingNewline) {
+  // CRLF endings, blank lines (both flavours) and a final line without
+  // any newline must all frame cleanly.
+  const auto lines = serve::split_requests(
+      "{\"a\":1}\r\n\r\n{\"b\":2}\n\n   \n{\"c\":3}");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "{\"a\":1}");
+  EXPECT_EQ(lines[1], "{\"b\":2}");
+  EXPECT_EQ(lines[2], "   ");  // whitespace is a (malformed) request
+  EXPECT_EQ(lines[3], "{\"c\":3}");
+
+  EXPECT_TRUE(serve::split_requests("").empty());
+  EXPECT_TRUE(serve::split_requests("\n\r\n\n").empty());
+  EXPECT_EQ(serve::split_requests("x").size(), 1u);
+}
+
+TEST(ServeFraming, LineBufferFramesAcrossArbitraryChunkBoundaries) {
+  // Feed two pipelined requests byte by byte: each completes exactly
+  // when its newline arrives, independent of chunking.
+  const std::string stream = "{\"a\":1}\r\n{\"b\":2}\n{\"tail\":3}";
+  serve::LineBuffer buffer;
+  std::vector<std::string> lines;
+  for (const char ch : stream) {
+    ASSERT_TRUE(buffer.append(&ch, 1, lines));
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"a\":1}");
+  EXPECT_EQ(lines[1], "{\"b\":2}");
+  // EOF semantics: the unterminated tail is still a request.
+  std::string tail;
+  ASSERT_TRUE(buffer.take_partial(tail));
+  EXPECT_EQ(tail, "{\"tail\":3}");
+  EXPECT_FALSE(buffer.take_partial(tail));
+}
+
+TEST(ServeFraming, LineBufferOverflowPoisonsTheStream) {
+  serve::LineBuffer buffer(8);
+  std::vector<std::string> lines;
+  const std::string huge(32, 'x');
+  EXPECT_FALSE(buffer.append(huge.data(), huge.size(), lines));
+  EXPECT_TRUE(buffer.overflowed());
+  EXPECT_TRUE(lines.empty());
+  // A poisoned buffer stays poisoned: no resync inside an unbounded line.
+  const char nl = '\n';
+  EXPECT_FALSE(buffer.append(&nl, 1, lines));
+  std::string tail;
+  EXPECT_FALSE(buffer.take_partial(tail));
+}
+
+// ---- structured error replies ----
+
+TEST(ServeErrors, MakeErrorReplyShapesAreStable) {
+  EXPECT_EQ(serve::make_error_reply("", "shed", "overloaded"),
+            R"({"ok":false,"code":"shed","error":"overloaded"})");
+  EXPECT_EQ(serve::make_error_reply("42", "timeout", "drain"),
+            R"({"id":42,"ok":false,"code":"timeout","error":"drain"})");
+  // Quotes in the message are escaped, never protocol-breaking.
+  const auto parsed = serve::parse_json(
+      serve::make_error_reply("\"x\"", "malformed", "bad \"cmd\""));
+  EXPECT_EQ(parsed.find("code")->str, "malformed");
+  EXPECT_EQ(parsed.find("error")->str, "bad \"cmd\"");
+}
+
+TEST_F(ServeTest, ServerRepliesCarryStableErrorCodes) {
+  export_named("reduce1");
+  serve::ServerOptions options;
+  options.model_dir = dir_.string();
+  serve::Server server(options);
+
+  const auto malformed =
+      serve::parse_json(server.handle_line("this is not json"));
+  EXPECT_EQ(malformed.find("code")->str, "malformed");
+  const auto unknown_cmd =
+      serve::parse_json(server.handle_line(R"({"cmd":"nonsense"})"));
+  EXPECT_EQ(unknown_cmd.find("code")->str, "malformed");
+  const auto ghost = serve::parse_json(
+      server.handle_line(R"({"model":"ghost","size":64})"));
+  EXPECT_EQ(ghost.find("code")->str, "model_unavailable");
+}
+
+// ---- per-batch coalescing ----
+
+TEST_F(ServeTest, IdenticalRowsInABatchAreComputedOnce) {
+  export_named("reduce1");
+  serve::ServerOptions options;
+  options.model_dir = dir_.string();
+  options.threads = 4;
+  serve::Server server(options);
+
+  const auto replies = server.handle_batch({
+      R"({"model":"reduce1","size":65536,"id":"a"})",
+      R"({"model":"reduce1","size":65536,"id":"b"})",
+      R"({"model":"reduce1","size":131072,"id":"c"})",
+      R"({"model":"reduce1","size":65536,"id":"d"})",
+  });
+  ASSERT_EQ(replies.size(), 4u);
+  // Every duplicate gets a full reply with its own id and the shared
+  // prediction, bit-identical to computing it directly.
+  const double direct = trained_predictor().predict_guarded(65536).value;
+  for (const std::size_t i : {0u, 1u, 3u}) {
+    const auto parsed = serve::parse_json(replies[i]);
+    EXPECT_TRUE(parsed.find("ok")->boolean) << replies[i];
+    EXPECT_EQ(parsed.find("predicted_ms")->number, direct);
+  }
+  EXPECT_EQ(serve::parse_json(replies[0]).find("id")->str, "a");
+  EXPECT_EQ(serve::parse_json(replies[1]).find("id")->str, "b");
+  EXPECT_EQ(serve::parse_json(replies[3]).find("id")->str, "d");
+  EXPECT_EQ(server.coalesced(), 2u);  // "b" and "d" rode along with "a"
+
+  // The stats surface reports the coalescing work saved.
+  const auto stats = serve::parse_json(server.handle_line(
+      R"({"cmd":"stats"})"));
+  EXPECT_EQ(stats.find("coalesced")->number, 2.0);
+}
+
 // ---- the JSON codec ----
 
 TEST(ServeJson, ParsesEscapesAndRejectsGarbage) {

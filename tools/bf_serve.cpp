@@ -3,15 +3,20 @@
 // Answers newline-delimited JSON prediction requests from trained
 // .bfmodel bundles (written by `bf_analyze --export-model`). Bundles
 // are cached in an LRU registry with single-flight loading; batches are
-// grouped per model and fanned across a thread pool.
+// grouped per model, deduplicated, and fanned across a thread pool.
 //
 //   bf_analyze --workload reduce1 --runs 12 --export-model m/reduce1.bfmodel
 //   printf '%s\n' '{"model":"reduce1","size":65536,"id":1}' |
 //     bf_serve --model-dir m
 //
-//   bf_serve --model-dir m --socket /tmp/bf.sock     # accept loop
+//   bf_serve --model-dir m --socket /tmp/bf.sock          # Unix listener
+//   bf_serve --model-dir m --tcp 7070                     # TCP listener
 //
-// Request/response schema: docs/serving.md.
+// Socket modes run the fleet-shaped connection layer (serve/conn.hpp):
+// concurrent connections, pipelined line-by-line replies, admission
+// control with explicit load shedding, per-connection timeouts, and a
+// graceful drain on SIGTERM/SIGINT. Request/response schema and
+// operational behaviour: docs/serving.md.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -19,8 +24,8 @@
 #include <vector>
 
 #ifndef _WIN32
-#include <sys/socket.h>
-#include <sys/un.h>
+#include <atomic>
+#include <csignal>
 #include <unistd.h>
 #endif
 
@@ -28,6 +33,10 @@
 #include "common/fault.hpp"
 #include "common/string_util.hpp"
 #include "common/version.hpp"
+#ifndef _WIN32
+#include "serve/conn.hpp"
+#endif
+#include "serve/net.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -40,10 +49,24 @@ void usage() {
       "  --model-dir DIR   directory of <name>.bfmodel bundles (default .)\n"
       "  --cache N         max resident bundles, LRU beyond (default 8)\n"
       "  --threads N       worker threads (default: shared global pool)\n"
-      "  --socket PATH     listen on a Unix socket instead of stdin;\n"
-      "                    each connection sends NDJSON requests and\n"
-      "                    half-closes, replies come back in order\n"
-      "  --once            exit after the first socket connection\n"
+      "  --socket PATH     listen on a Unix socket; pipelined NDJSON\n"
+      "                    requests are answered line-by-line, in order\n"
+      "  --tcp [HOST:]PORT listen on TCP too (or instead); port 0 binds\n"
+      "                    an ephemeral port and prints it on stderr\n"
+      "  --backlog N       listen(2) backlog (default 64)\n"
+      "  --max-conns N     open-connection cap; beyond it a connection\n"
+      "                    gets one \"shed\" reply and is closed\n"
+      "                    (default 256)\n"
+      "  --max-queue N     admitted-but-unanswered request cap; beyond\n"
+      "                    it requests are shed with an explicit error\n"
+      "                    (default 1024)\n"
+      "  --timeout-ms N    per-connection inactivity timeout\n"
+      "                    (default 30000)\n"
+      "  --drain-ms N      grace budget for in-flight requests after\n"
+      "                    SIGTERM/SIGINT (default 5000)\n"
+      "  --net-workers N   threads running request batches for the\n"
+      "                    socket listeners (default 2)\n"
+      "  --once            exit after the first socket connection closes\n"
       "  --batch           read all of stdin before answering, grouping\n"
       "                    requests per model and fanning across the\n"
       "                    thread pool (default: one reply per line,\n"
@@ -53,13 +76,15 @@ void usage() {
       "  --version         print the build identity and exit\n"
       "\n"
       "stdin mode reads requests (one JSON object per line) until EOF\n"
-      "and writes one reply line per request, in input order.\n");
+      "and writes one reply line per request, in input order. On SIGTERM\n"
+      "or SIGINT the socket modes stop accepting, finish or time out\n"
+      "in-flight requests, flush, and exit 0.\n");
 }
 
 struct Args {
   serve::ServerOptions server;
-  std::string socket_path;
-  bool once = false;
+  serve::NetServerOptions net;
+  bool use_net = false;
   bool batch = false;
   std::string faults;
   std::uint64_t fault_seed = bf::fault::kDefaultSeed;
@@ -80,9 +105,34 @@ Args parse(int argc, char** argv) {
     } else if (a == "--threads") {
       args.server.threads = static_cast<std::size_t>(parse_int(next()));
     } else if (a == "--socket") {
-      args.socket_path = next();
+      args.net.unix_path = next();
+      args.use_net = true;
+    } else if (a == "--tcp") {
+      const std::string spec = next();
+      const std::size_t colon = spec.rfind(':');
+      if (colon == std::string::npos) {
+        args.net.tcp_port = static_cast<int>(parse_int(spec));
+      } else {
+        args.net.tcp_host = spec.substr(0, colon);
+        args.net.tcp_port = static_cast<int>(parse_int(spec.substr(colon + 1)));
+      }
+      BF_CHECK_MSG(args.net.tcp_port >= 0 && args.net.tcp_port <= 65535,
+                   "--tcp port out of range: " << spec);
+      args.use_net = true;
+    } else if (a == "--backlog") {
+      args.net.backlog = static_cast<int>(parse_int(next()));
+    } else if (a == "--max-conns") {
+      args.net.max_conns = static_cast<std::size_t>(parse_int(next()));
+    } else if (a == "--max-queue") {
+      args.net.max_queue = static_cast<std::size_t>(parse_int(next()));
+    } else if (a == "--timeout-ms") {
+      args.net.timeout_ms = static_cast<int>(parse_int(next()));
+    } else if (a == "--drain-ms") {
+      args.net.drain_ms = static_cast<int>(parse_int(next()));
+    } else if (a == "--net-workers") {
+      args.net.workers = static_cast<std::size_t>(parse_int(next()));
     } else if (a == "--once") {
-      args.once = true;
+      args.net.once = true;
     } else if (a == "--batch") {
       args.batch = true;
     } else if (a == "--faults") {
@@ -102,23 +152,6 @@ Args parse(int argc, char** argv) {
   return args;
 }
 
-/// Split a request stream into lines, dropping blank ones (a trailing
-/// newline before EOF is not an empty request).
-std::vector<std::string> split_requests(const std::string& text) {
-  std::vector<std::string> lines;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    std::size_t end = text.find('\n', start);
-    if (end == std::string::npos) end = text.size();
-    std::string line = text.substr(start, end - start);
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (!line.empty()) lines.push_back(std::move(line));
-    if (end == text.size()) break;
-    start = end + 1;
-  }
-  return lines;
-}
-
 int run_stdin(serve::Server& server, bool batch) {
   if (batch) {
     // Throughput mode: collect everything, group per model, fan out.
@@ -128,7 +161,7 @@ int run_stdin(serve::Server& server, bool batch) {
     while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
       input.append(buf, n);
     }
-    const auto replies = server.handle_batch(split_requests(input));
+    const auto replies = server.handle_batch(serve::split_requests(input));
     for (const auto& reply : replies) std::printf("%s\n", reply.c_str());
     return 0;
   }
@@ -145,50 +178,45 @@ int run_stdin(serve::Server& server, bool batch) {
 }
 
 #ifndef _WIN32
-int run_socket(serve::Server& server, const std::string& path, bool once) {
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  BF_CHECK_MSG(listener >= 0, "cannot create Unix socket");
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  BF_CHECK_MSG(path.size() < sizeof(addr.sun_path),
-               "socket path too long: " << path);
-  path.copy(addr.sun_path, path.size());
-  ::unlink(path.c_str());
-  BF_CHECK_MSG(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-                      sizeof(addr)) == 0,
-               "cannot bind " << path);
-  BF_CHECK_MSG(::listen(listener, 16) == 0, "cannot listen on " << path);
-  std::fprintf(stderr, "bf_serve: listening on %s\n", path.c_str());
 
-  while (true) {
-    const int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) continue;
-    std::string input;
-    char buf[4096];
-    ssize_t n = 0;
-    while ((n = ::read(conn, buf, sizeof(buf))) > 0) {
-      input.append(buf, static_cast<std::size_t>(n));
-    }
-    const auto replies = server.handle_batch(split_requests(input));
-    std::string out;
-    for (const auto& reply : replies) {
-      out += reply;
-      out += '\n';
-    }
-    std::size_t off = 0;
-    while (off < out.size()) {
-      const ssize_t w = ::write(conn, out.data() + off, out.size() - off);
-      if (w <= 0) break;
-      off += static_cast<std::size_t>(w);
-    }
-    ::close(conn);
-    if (once) break;
-  }
-  ::close(listener);
-  ::unlink(path.c_str());
-  return 0;
+/// write(2) from a signal handler needs the stop fd without touching
+/// any non-trivial object; an atomic int is async-signal-safe to read.
+std::atomic<int> g_stop_fd{-1};
+
+extern "C" void handle_stop_signal(int) {
+  const int fd = g_stop_fd.load(std::memory_order_relaxed);
+  if (fd < 0) return;
+  const char byte = 's';
+  // The return value is meaningless mid-signal; a full pipe already
+  // guarantees a pending wake-up.
+  (void)!::write(fd, &byte, 1);
 }
-#endif
+
+int run_net(serve::Server& server, const Args& args) {
+  serve::NetServer net(server, args.net);
+  server.attach_net(&net.counters());
+  g_stop_fd.store(net.stop_fd(), std::memory_order_relaxed);
+  struct sigaction sa{};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: poll must wake to notice the stop
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  if (!args.net.unix_path.empty()) {
+    std::fprintf(stderr, "bf_serve: listening on %s\n",
+                 args.net.unix_path.c_str());
+  }
+  if (args.net.tcp_port >= 0) {
+    std::fprintf(stderr, "bf_serve: listening on %s:%u\n",
+                 args.net.tcp_host.c_str(),
+                 static_cast<unsigned>(net.tcp_port()));
+  }
+  const int rc = net.run();
+  g_stop_fd.store(-1, std::memory_order_relaxed);
+  return rc;
+}
+
+#endif  // !_WIN32
 
 }  // namespace
 
@@ -202,11 +230,11 @@ int main(int argc, char** argv) {
       bf::fault::configure_from_env();
     }
     serve::Server server(args.server);
-    if (!args.socket_path.empty()) {
+    if (args.use_net) {
 #ifndef _WIN32
-      return run_socket(server, args.socket_path, args.once);
+      return run_net(server, args);
 #else
-      BF_FAIL("--socket is not supported on this platform");
+      BF_FAIL("--socket/--tcp are not supported on this platform");
 #endif
     }
     return run_stdin(server, args.batch);
