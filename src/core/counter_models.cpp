@@ -155,10 +155,11 @@ CounterModels CounterModels::fit(const ml::Dataset& ds,
     // (and the reported quality) reflects what the forest will consume.
     const auto score = [&](CounterModelKind kind) {
       std::vector<double> pred(y_raw.size());
+      std::vector<double> row(raw_x.cols());
+      std::vector<double> scratch;
       for (std::size_t i = 0; i < y_raw.size(); ++i) {
-        std::vector<double> row(raw_x.cols());
         for (std::size_t j = 0; j < raw_x.cols(); ++j) row[j] = raw_x(i, j);
-        pred[i] = out.predict_entry_kind(entry, kind, row, nullptr);
+        pred[i] = out.predict_entry_kind(entry, kind, row, scratch, nullptr);
       }
       double rss = 0.0;
       for (std::size_t i = 0; i < y_raw.size(); ++i) {
@@ -309,13 +310,15 @@ CounterModels CounterModels::fit(const ml::Dataset& ds,
 }
 
 double CounterModels::predict_entry(const Entry& entry,
-                                    const std::vector<double>& inputs) const {
-  return predict_entry_kind(entry, entry.kind, inputs, nullptr);
+                                    std::span<const double> inputs,
+                                    std::vector<double>& scratch) const {
+  return predict_entry_kind(entry, entry.kind, inputs, scratch, nullptr);
 }
 
 double CounterModels::predict_entry_kind(const Entry& entry,
                                          CounterModelKind kind,
-                                         const std::vector<double>& inputs,
+                                         std::span<const double> inputs,
+                                         std::vector<double>& scratch,
                                          bool* negative_clamped) const {
   double v;
   if (kind == CounterModelKind::kPowerLaw) {
@@ -329,18 +332,18 @@ double CounterModels::predict_entry_kind(const Entry& entry,
     pl.y0 = entry.pl_y0;
     v = pl.predict(inputs.empty() ? 0.0 : inputs[0]);
   } else {
-    std::vector<double> t = inputs;
+    scratch.assign(inputs.begin(), inputs.end());
     if (log_inputs_) {
-      for (double& u : t) u = log_input(u);
+      for (double& u : scratch) u = log_input(u);
     }
     if (kind == CounterModelKind::kMars) {
-      v = entry.mars.predict_row(t.data(), t.size());  // bf-lint: allow(guarded-predict)
+      v = entry.mars.predict_row(scratch.data(), scratch.size());  // bf-lint: allow(guarded-predict)
     } else if (kind == CounterModelKind::kLogLinear) {
       BF_CHECK_MSG(entry.has_fallbacks,
                    "log-linear fallback was not fit for " << entry.counter);
-      v = entry.loglin.predict_row(t.data(), t.size());  // bf-lint: allow(guarded-predict)
+      v = entry.loglin.predict_row(scratch.data(), scratch.size());  // bf-lint: allow(guarded-predict)
     } else {
-      v = entry.glm.predict_row(t.data(), t.size());  // bf-lint: allow(guarded-predict)
+      v = entry.glm.predict_row(scratch.data(), scratch.size());  // bf-lint: allow(guarded-predict)
     }
     if (entry.log_response) v = std::exp2(std::clamp(v, -60.0, 60.0));
   }
@@ -364,10 +367,20 @@ double CounterModels::predict_entry_kind(const Entry& entry,
 double CounterModels::predict_kind(std::size_t entry, CounterModelKind kind,
                                    const std::vector<double>& inputs,
                                    bool* negative_clamped) const {
+  std::vector<double> scratch;
+  return predict_kind(entry, kind, std::span<const double>(inputs), scratch,
+                      negative_clamped);
+}
+
+double CounterModels::predict_kind(std::size_t entry, CounterModelKind kind,
+                                   std::span<const double> inputs,
+                                   std::vector<double>& scratch,
+                                   bool* negative_clamped) const {
   BF_CHECK_MSG(entry < entries_.size(), "counter model index out of range");
   BF_CHECK_MSG(inputs.size() == inputs_.size(),
                "expected " << inputs_.size() << " input values");
-  return predict_entry_kind(entries_[entry], kind, inputs, negative_clamped);
+  return predict_entry_kind(entries_[entry], kind, inputs, scratch,
+                            negative_clamped);
 }
 
 const std::string& CounterModels::entry_counter(std::size_t entry) const {
@@ -387,8 +400,9 @@ std::vector<std::pair<std::string, double>> CounterModels::predict(
                "expected " << inputs_.size() << " input values");
   std::vector<std::pair<std::string, double>> out;
   out.reserve(entries_.size());
+  std::vector<double> scratch;
   for (const auto& entry : entries_) {
-    out.emplace_back(entry.counter, predict_entry(entry, inputs));
+    out.emplace_back(entry.counter, predict_entry(entry, inputs, scratch));
   }
   return out;
 }
@@ -399,11 +413,17 @@ ml::Dataset CounterModels::predict_features(
                "predict_features requires a single-input model");
   ml::Dataset ds;
   ds.add_column(inputs_[0], sizes);
+  // One reused input cell and log-transform scratch across the whole
+  // size x counter grid — this is the serving hot path (every
+  // predict_time call lands here), so it must not allocate per size.
+  double in[1];
+  std::vector<double> scratch;
   for (const auto& entry : entries_) {
     std::vector<double> col;
     col.reserve(sizes.size());
     for (const double s : sizes) {
-      col.push_back(predict_entry(entry, {s}));
+      in[0] = s;
+      col.push_back(predict_entry(entry, std::span<const double>(in), scratch));
     }
     ds.add_column(entry.counter, std::move(col));
   }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,14 @@ class CounterModels {
                       const std::vector<double>& inputs,
                       bool* negative_clamped = nullptr) const;
 
+  /// Allocation-free form of predict_kind for the serving hot path: the
+  /// inputs arrive as a span and the log-space transform writes into a
+  /// caller-reused scratch buffer instead of a per-call temporary.
+  double predict_kind(std::size_t entry, CounterModelKind kind,
+                      std::span<const double> inputs,
+                      std::vector<double>& scratch,
+                      bool* negative_clamped = nullptr) const;
+
   std::size_t num_entries() const { return entries_.size(); }
   const std::string& entry_counter(std::size_t entry) const;
   /// Demotion order of one entry, primary first.
@@ -140,10 +149,11 @@ class CounterModels {
     std::vector<CounterModelKind> chain;
   };
 
-  double predict_entry(const Entry& entry,
-                       const std::vector<double>& inputs) const;
+  double predict_entry(const Entry& entry, std::span<const double> inputs,
+                       std::vector<double>& scratch) const;
   double predict_entry_kind(const Entry& entry, CounterModelKind kind,
-                            const std::vector<double>& inputs,
+                            std::span<const double> inputs,
+                            std::vector<double>& scratch,
                             bool* negative_clamped) const;
 
   std::vector<std::string> inputs_;

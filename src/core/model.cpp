@@ -56,11 +56,11 @@ BlackForestModel BlackForestModel::fit(const ml::Dataset& ds,
   ml::ForestParams params = options.forest;
   if (params.seed == ml::ForestParams{}.seed) params.seed = options.seed;
   model.forest_.fit(x, y, model.predictors_, params);
+  model.flat_ = ml::FlatForest::freeze(model.forest_);
 
   if (model.test_.num_rows() > 0) {
     const linalg::Matrix tx = model.test_.to_matrix(model.predictors_);
-    const std::vector<double> pred =
-        model.forest_.predict(tx);  // bf-lint: allow(guarded-predict)
+    const std::vector<double> pred = model.flat_.predict(tx);
     const std::vector<double>& truth =
         model.test_.column(profiling::kTimeColumn);
     model.test_mse_ = ml::mse(truth, pred);
@@ -84,11 +84,11 @@ BlackForestModel BlackForestModel::refit_with(
   ml::ForestParams params = options_.forest;
   if (params.seed == ml::ForestParams{}.seed) params.seed = options_.seed;
   model.forest_.fit(x, y, predictors, params);
+  model.flat_ = ml::FlatForest::freeze(model.forest_);
 
   if (model.test_.num_rows() > 0) {
     const linalg::Matrix tx = model.test_.to_matrix(predictors);
-    const std::vector<double> pred =
-        model.forest_.predict(tx);  // bf-lint: allow(guarded-predict)
+    const std::vector<double> pred = model.flat_.predict(tx);
     const std::vector<double>& truth =
         model.test_.column(profiling::kTimeColumn);
     model.test_mse_ = ml::mse(truth, pred);
@@ -99,23 +99,32 @@ BlackForestModel BlackForestModel::refit_with(
 
 std::vector<double> BlackForestModel::predict(const ml::Dataset& ds) const {
   const linalg::Matrix x = ds.to_matrix(predictors_);
-  return forest_.predict(x);  // bf-lint: allow(guarded-predict)
+  return flat_.predict(x);
+}
+
+void BlackForestModel::refreeze(ml::TreeLayout layout) {
+  BF_CHECK_MSG(forest_.fitted(),
+               "refreeze needs the training-side forest (models loaded "
+               "from a flat-only record cannot change layout)");
+  flat_ = ml::FlatForest::freeze(forest_, layout);
 }
 
 void BlackForestModel::save(std::ostream& os) const {
-  BF_CHECK_MSG(forest_.fitted(), "save on unfitted model");
+  BF_CHECK_MSG(flat_.fitted(), "save on unfitted model");
   os.precision(17);
-  os << "bf_model 1\n";
+  // Version 2 stores the frozen flat forest only: serving loads the fast
+  // form directly and skips the (much larger) pointer-tree dump with its
+  // retained training matrix.
+  os << "bf_model 2\n";
   os << predictors_.size();
   for (const auto& p : predictors_) os << ' ' << p;
   os << "\n";
   os << test_mse_ << ' ' << test_explained_var_ << "\n";
-  forest_.save(os);
+  flat_.save(os);
 }
 
 BlackForestModel BlackForestModel::load(std::istream& is) {
-  const int format_version = read_format_version(is, "bf_model", 1);
-  (void)format_version;
+  const int format_version = read_format_version(is, "bf_model", 2);
   BlackForestModel model;
   std::size_t n = 0;
   BF_CHECK_MSG(static_cast<bool>(is >> n) && n >= 1 && n <= 100'000,
@@ -127,8 +136,15 @@ BlackForestModel BlackForestModel::load(std::istream& is) {
   BF_CHECK_MSG(
       static_cast<bool>(is >> model.test_mse_ >> model.test_explained_var_),
       "bf_model: truncated statistics");
-  model.forest_ = ml::RandomForest::load(is);
-  BF_CHECK_MSG(model.forest_.feature_names() == model.predictors_,
+  if (format_version == 1) {
+    // Pre-flat bundle: load the pointer forest and freeze it on the spot,
+    // so old artifacts serve through the same fast path as new ones.
+    model.forest_ = ml::RandomForest::load(is);
+    model.flat_ = ml::FlatForest::freeze(model.forest_);
+  } else {
+    model.flat_ = ml::FlatForest::load(is);
+  }
+  BF_CHECK_MSG(model.flat_.feature_names() == model.predictors_,
                "bf_model: forest features disagree with predictor list");
   return model;
 }

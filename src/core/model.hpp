@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ml/dataset.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/forest.hpp"
 
 namespace bf::core {
@@ -39,7 +40,13 @@ class BlackForestModel {
   BlackForestModel refit_with(const std::vector<std::string>& predictors)
       const;
 
+  /// Training-side pointer forest. Fitted models always carry it;
+  /// models loaded from a version-2 "bf_model" record carry only the
+  /// frozen flat form (forest().fitted() is false there) — inference
+  /// goes through flat() in either case.
   const ml::RandomForest& forest() const { return forest_; }
+  /// The frozen flat inference engine (always fitted on a usable model).
+  const ml::FlatForest& flat() const { return flat_; }
   const std::vector<std::string>& predictors() const { return predictors_; }
   const ml::Dataset& train_data() const { return train_; }
   const ml::Dataset& test_data() const { return test_; }
@@ -63,18 +70,38 @@ class BlackForestModel {
   }
 
   /// Predict times for rows of a dataset that contains (at least) the
-  /// model's predictor columns.
+  /// model's predictor columns. Runs on the flat engine.
   std::vector<double> predict(const ml::Dataset& ds) const;
 
-  /// Serialise the fitted model for .bfmodel bundles: forest, predictor
-  /// names and held-out statistics. The train/test datasets are NOT
-  /// stored — a loaded model predicts (bit-identically) but cannot be
-  /// refit; train_data()/test_data() on it are empty.
+  /// Forest prediction with the per-tree quantile band, served by the
+  /// flat engine (bit-identical to the pointer forest). The scratch form
+  /// is the allocation-free hot path.
+  ml::PredictionInterval predict_interval(const double* row, double alpha,
+                                          ml::ForestScratch& scratch) const {
+    return flat_.predict_interval(row, alpha, scratch);
+  }
+  std::vector<ml::PredictionInterval> predict_intervals(
+      const linalg::Matrix& x, double alpha = 0.1) const {
+    return flat_.predict_intervals(x, alpha);
+  }
+
+  /// Re-freeze the flat engine with a different node layout (the frozen
+  /// predictions are layout-invariant; this is for benchmarking and
+  /// layout experiments). Requires the training-side forest.
+  void refreeze(ml::TreeLayout layout);
+
+  /// Serialise the fitted model for .bfmodel bundles: predictor names,
+  /// held-out statistics and the *frozen flat forest* (format version 2).
+  /// The train/test datasets and the pointer trees are NOT stored — a
+  /// loaded model predicts (bit-identically) but cannot be refit;
+  /// train_data()/test_data() on it are empty. Version-1 records (full
+  /// pointer-forest dump) still load and are frozen on load.
   void save(std::ostream& os) const;
   static BlackForestModel load(std::istream& is);
 
  private:
   ml::RandomForest forest_;
+  ml::FlatForest flat_;
   std::vector<std::string> predictors_;
   ml::Dataset train_;
   ml::Dataset test_;

@@ -5,6 +5,7 @@
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <span>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -142,6 +143,13 @@ guard::PredictionGuardRecord ProblemScalingPredictor::predict_guarded(
   guard::PredictionGuardRecord rec;
   rec.size = size;
 
+  // Reused buffers for the per-size hot path: counter-chain queries and
+  // forest interval queries are allocation-free below this point.
+  const double cm_in[1] = {size};
+  const std::span<const double> cm_inputs(cm_in);
+  std::vector<double> cm_scratch;
+  ml::ForestScratch forest_scratch;
+
   // 1. Generate the retained counters, demoting down each fallback chain
   //    when a model's output violates its sanity envelope.
   ml::Dataset features;
@@ -152,8 +160,8 @@ guard::PredictionGuardRecord ProblemScalingPredictor::predict_guarded(
     const bool has_chain = chain.size() > 1;
     double envelope = std::numeric_limits<double>::infinity();
     if (has_chain) {
-      const double pl =
-          counters_.predict_kind(e, CounterModelKind::kPowerLaw, {size});
+      const double pl = counters_.predict_kind(
+          e, CounterModelKind::kPowerLaw, cm_inputs, cm_scratch);
       envelope = std::max(train_max_[e], pl) * guard_.demote_slack;
     }
     const bool beyond_train = size > max_train_size_;
@@ -162,7 +170,8 @@ guard::PredictionGuardRecord ProblemScalingPredictor::predict_guarded(
     std::string first_failure;
     for (const CounterModelKind kind : chain) {
       bool neg = false;
-      const double v = counters_.predict_kind(e, kind, {size}, &neg);
+      const double v =
+          counters_.predict_kind(e, kind, cm_inputs, cm_scratch, &neg);
       std::string why;
       if (!std::isfinite(v)) {
         why = "non-finite";
@@ -190,9 +199,11 @@ guard::PredictionGuardRecord ProblemScalingPredictor::predict_guarded(
     if (!accepted) {
       // Every model failed: fall back to the power law clamped into the
       // envelope — the least-wrong physically meaningful value.
-      double v = has_chain ? counters_.predict_kind(
-                                 e, CounterModelKind::kPowerLaw, {size})
-                           : counters_.predict_kind(e, chain.front(), {size});
+      double v = has_chain
+                     ? counters_.predict_kind(e, CounterModelKind::kPowerLaw,
+                                              cm_inputs, cm_scratch)
+                     : counters_.predict_kind(e, chain.front(), cm_inputs,
+                                              cm_scratch);
       if (!std::isfinite(v)) v = train_at_max_size_[e];
       value = std::clamp(v, 0.0, std::isfinite(envelope)
                                      ? envelope
@@ -217,9 +228,10 @@ guard::PredictionGuardRecord ProblemScalingPredictor::predict_guarded(
     rec.clamps.push_back(format_clamp(ev));
   }
 
-  // 4. Forest query with per-tree spread.
+  // 4. Forest query with per-tree spread, on the frozen flat engine.
   linalg::Matrix xm = features.to_matrix(reduced_.predictors());
-  ml::PredictionInterval iv = reduced_.forest().predict_interval(xm.row_ptr(0));
+  ml::PredictionInterval iv =
+      reduced_.predict_interval(xm.row_ptr(0), 0.1, forest_scratch);
   rec.raw_value = iv.mean;
 
   // 5. Time-dependent caps need the predicted time itself; when one
@@ -231,7 +243,7 @@ guard::PredictionGuardRecord ProblemScalingPredictor::predict_guarded(
     if (!tev.empty()) {
       for (const auto& ev : tev) rec.clamps.push_back(format_clamp(ev));
       xm = features.to_matrix(reduced_.predictors());
-      iv = reduced_.forest().predict_interval(xm.row_ptr(0));
+      iv = reduced_.predict_interval(xm.row_ptr(0), 0.1, forest_scratch);
     }
   }
 
@@ -472,7 +484,7 @@ HardwareScalingResult HardwareScalingPredictor::predict(
     const guard::DomainGuard hull = guard::DomainGuard::build(
         train, model.predictors(), options.guard.margin);
     const linalg::Matrix xm = split.test.to_matrix(model.predictors());
-    const auto intervals = model.forest().predict_intervals(xm);
+    const auto intervals = model.predict_intervals(xm);
     out.series.guard.enabled = true;
     out.series.guard.options = options.guard;
     out.series.guard.hull = hull.ranges();

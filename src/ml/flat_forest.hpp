@@ -1,0 +1,145 @@
+// Flat-forest inference engine: the entire forest frozen into one
+// contiguous structure-of-arrays node table, herring/FIL-style.
+//
+// The training-side RandomForest walks per-tree std::vector<Node> objects
+// of 40-byte AoS nodes through an out-of-line call per tree — a chain of
+// dependent cache misses per prediction. FlatForest freezes a fitted
+// forest into one contiguous table of 16-byte node records shared by
+// every tree:
+//
+//   left     int32   left-child index; the right child is always
+//                    left + 1 (children are allocated as adjacent
+//                    pairs). Leaves pack the leaf flag into the sign:
+//                    left == -1.
+//   feature  int32   split feature (leaves store 0, a valid index, so
+//                    the stepping kernel may load unconditionally)
+//   tv       double  split threshold for internal nodes, the leaf
+//                    value for leaves (they are never both needed)
+//
+// plus a per-tree root-index table. One node costs 16 bytes instead of
+// 40, a visit touches a single cache line instead of three arrays, and
+// the branchy child select becomes the branchless step
+//
+//   i = node.left + (row[node.feature] > node.tv)
+//
+// which is the exact negation of the pointer tree's
+// `row[f] <= thr ? left : right` for the finite values a sanitized row
+// contains. Walks run as a compacted list of interleaved lanes: the
+// dependent-load latency of one lane hides behind the others, and a
+// lane that reaches its leaf is dropped from the list instead of
+// spinning until the deepest lane finishes.
+//
+// Two freeze-time layouts are supported: depth-first (child pairs
+// allocated as the left spine unwinds — subtree-local, good when few
+// lanes run) and breadth-first (level-order — the top levels of all
+// subtrees stay packed, good for wide lane counts). Both obey the
+// adjacent-pair invariant, so the stepping kernel is layout-agnostic.
+//
+// Predictions are bit-identical to RandomForest: per-tree leaf values are
+// materialised into scratch and summed sequentially in tree order
+// (`acc += v; acc / n_trees`), NaN features are repaired with the same
+// training medians in the same order, and the ml.forest.nan_feature fault
+// point fires once per predict call exactly like the pointer path.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ml/forest.hpp"
+
+namespace bf::ml {
+
+/// Node ordering chosen when a forest is frozen.
+enum class TreeLayout {
+  kDepthFirst,
+  kBreadthFirst,
+};
+
+/// Stable one-token names ("df", "bf") for serialisation and reports.
+const char* tree_layout_name(TreeLayout layout);
+TreeLayout tree_layout_from_name(const std::string& name);
+
+/// One frozen node: 16 bytes, naturally aligned, so a visit touches
+/// exactly one cache line.
+struct FlatNode {
+  std::int32_t left = -1;   ///< left child; -1 marks a leaf
+  std::int32_t feature = 0;  ///< split feature (0 on leaves, still valid)
+  double tv = 0.0;           ///< threshold (internal) or value (leaf)
+};
+
+class FlatForest {
+ public:
+  /// Freeze a fitted forest into the flat layout. The forest keeps its
+  /// training-side representation; the flat form is a pure view for
+  /// inference (pruned-dead nodes are dropped in the process).
+  static FlatForest freeze(const RandomForest& forest,
+                           TreeLayout layout = TreeLayout::kDepthFirst);
+
+  /// Predict one row, bit-identical to RandomForest::predict_row.
+  double predict_row(const double* row, ForestScratch& scratch) const;
+  /// Convenience overload that allocates its own scratch.
+  double predict_row(const double* row) const;
+
+  /// Batched prediction over the rows of `x`. The forest is split into
+  /// L2-sized tiles of consecutive trees and every block of rows is
+  /// streamed through a tile while its nodes are cache-resident, so the
+  /// node table is pulled from outer memory once per call instead of
+  /// once per row. Per-row sums are still accumulated in ascending tree
+  /// order, so results match predict_row exactly.
+  void predict(const linalg::Matrix& x, std::vector<double>& out,
+               ForestScratch& scratch) const;
+  std::vector<double> predict(const linalg::Matrix& x) const;
+
+  /// Prediction with the empirical per-tree interval, bit-identical to
+  /// RandomForest::predict_interval. After the call scratch.tree_values
+  /// holds the sorted per-tree leaf values (quantile input).
+  PredictionInterval predict_interval(const double* row, double alpha,
+                                      ForestScratch& scratch) const;
+  PredictionInterval predict_interval(const double* row,
+                                      double alpha = 0.1) const;
+  std::vector<PredictionInterval> predict_intervals(const linalg::Matrix& x,
+                                                    double alpha = 0.1) const;
+
+  std::size_t n_trees() const { return roots_.size(); }
+  std::size_t node_count() const { return nodes_.size(); }
+  bool fitted() const { return !roots_.empty(); }
+  TreeLayout layout() const { return layout_; }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  const std::vector<double>& feature_medians() const {
+    return feature_medians_;
+  }
+
+  /// Serialise the frozen form ("bf_flat_forest 1"): layout, features,
+  /// repair medians, root table and the node arrays. This is what
+  /// .bfmodel bundles store, so serving never rebuilds pointer trees.
+  void save(std::ostream& os) const;
+  static FlatForest load(std::istream& is);
+
+ private:
+  /// Same repair semantics as RandomForest::sanitize_row, over a raw
+  /// buffer of feature-count capacity. Returns the row to predict from
+  /// (`row` itself when clean).
+  const double* sanitize_row(const double* row, double* buffer) const;
+
+  /// Per-tree leaf values for one sanitized row: every tree is a lane in
+  /// one compacted walk list (scratch provides the lane state).
+  void tree_leaf_values(const double* row, double* out,
+                        ForestScratch& scratch) const;
+  /// Walk trees [t0, t1) for `n` sanitized rows (row-major, stride `p`)
+  /// and add each tree's leaf value into acc[k], in tree order.
+  void accumulate_block(const double* rows, std::size_t p, std::size_t n,
+                        std::size_t t0, std::size_t t1, double* acc) const;
+
+  TreeLayout layout_ = TreeLayout::kDepthFirst;
+  std::vector<std::int32_t> roots_;
+  std::vector<FlatNode> nodes_;
+  std::vector<std::string> feature_names_;
+  std::vector<double> feature_medians_;
+};
+
+}  // namespace bf::ml

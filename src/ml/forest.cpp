@@ -272,11 +272,21 @@ std::vector<std::string> RandomForest::top_variables(std::size_t k) const {
 
 PredictionInterval RandomForest::predict_interval(const double* row,
                                                   double alpha) const {
+  ForestScratch scratch;
+  return predict_interval(row, alpha, scratch);
+}
+
+PredictionInterval RandomForest::predict_interval(
+    const double* row, double alpha, ForestScratch& scratch) const {
   BF_CHECK_MSG(fitted(), "predict_interval on unfitted forest");
   BF_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
-  std::vector<double> repaired;
-  row = sanitize_row(row, repaired);
-  std::vector<double> preds;
+  // sanitize_row uses emptiness to mean "row not yet copied"; a reused
+  // scratch buffer must start empty (capacity is retained, so no
+  // allocation happens after the first call).
+  scratch.repaired.clear();
+  row = sanitize_row(row, scratch.repaired);
+  std::vector<double>& preds = scratch.tree_values;
+  preds.clear();
   preds.reserve(trees_.size());
   double acc = 0.0;
   for (const auto& tree : trees_) {
@@ -305,8 +315,9 @@ std::vector<PredictionInterval> RandomForest::predict_intervals(
                "prediction matrix has wrong number of columns");
   std::vector<PredictionInterval> out;
   out.reserve(x.rows());
+  ForestScratch scratch;
   for (std::size_t r = 0; r < x.rows(); ++r) {
-    out.push_back(predict_interval(x.row_ptr(r), alpha));
+    out.push_back(predict_interval(x.row_ptr(r), alpha, scratch));
   }
   return out;
 }

@@ -65,6 +65,20 @@ struct PartialDependenceInterval {
   PredictionInterval y;
 };
 
+/// Caller-provided scratch for the allocation-free prediction paths
+/// (RandomForest::predict_interval and the FlatForest engine). Reuse one
+/// instance across calls; the buffers grow to the forest's size once and
+/// are then recycled.
+struct ForestScratch {
+  /// Repaired-row buffer for NaN-feature median repair.
+  std::vector<double> repaired;
+  /// Per-tree leaf values (quantile input for intervals).
+  std::vector<double> tree_values;
+  /// Lane state of the flat engine's compacted interleaved tree walk
+  /// (tree id and current node packed per lane).
+  std::vector<std::int64_t> walk_lanes;
+};
+
 class RandomForest {
  public:
   /// Fit the forest. Feature names are kept for reporting; pass one name
@@ -110,6 +124,12 @@ class RandomForest {
   PredictionInterval predict_interval(const double* row,
                                       double alpha = 0.1) const;
 
+  /// Allocation-free form: per-tree values and the repair buffer live in
+  /// `scratch`, which the caller reuses across rows. Bit-identical to the
+  /// allocating overload.
+  PredictionInterval predict_interval(const double* row, double alpha,
+                                      ForestScratch& scratch) const;
+
   /// Batch form of predict_interval, one interval per row of `x`.
   std::vector<PredictionInterval> predict_intervals(const linalg::Matrix& x,
                                                     double alpha = 0.1) const;
@@ -126,6 +146,8 @@ class RandomForest {
       double alpha = 0.1) const;
 
   std::size_t n_trees() const { return trees_.size(); }
+  /// The t-th training-side tree (freeze input for ml::FlatForest).
+  const RegressionTree& tree(std::size_t t) const { return trees_.at(t); }
   const std::vector<std::string>& feature_names() const {
     return feature_names_;
   }

@@ -180,6 +180,13 @@ double RegressionTree::predict_row(const double* row) const {
   return nodes_[static_cast<std::size_t>(id)].value;
 }
 
+RegressionTree::NodeView RegressionTree::node_view(std::int32_t id) const {
+  BF_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+               "node id out of range");
+  const Node& n = nodes_[static_cast<std::size_t>(id)];
+  return NodeView{n.left, n.right, n.feature, n.threshold, n.value};
+}
+
 std::vector<double> RegressionTree::predict(const linalg::Matrix& x) const {
   std::vector<double> out(x.rows());
   for (std::size_t r = 0; r < x.rows(); ++r) {

@@ -47,6 +47,17 @@ class RegressionTree {
   /// feature — the "impurity" flavour of variable importance.
   std::vector<double> impurity_importance(std::size_t num_features) const;
 
+  /// Read-only view of one node, for freezing the tree into flat
+  /// inference layouts (ml::FlatForest) without exposing the node table.
+  struct NodeView {
+    std::int32_t left = -1;     ///< -1 for leaves
+    std::int32_t right = -1;
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;
+  };
+  NodeView node_view(std::int32_t id) const;
+
   /// Serialise the node table as one text line per node.
   void save(std::ostream& os) const;
   /// Reconstruct a tree saved by save(); throws bf::Error on bad input.

@@ -26,6 +26,8 @@ const std::vector<RuleSpec> kRegistry = {
      "(use bf::atomic_write_file)"},
     {"guarded-predict", Severity::kError,
      "direct per-row model query in core/tools bypasses the guard layer"},
+    {"flat-predict", Severity::kError,
+     "serve-layer per-row tree walk bypasses the flat inference engine"},
     {"artifact-version", Severity::kError,
      "serialized-struct reader must check the format version first"},
     {"include-cycle", Severity::kError,
@@ -143,6 +145,13 @@ void run_token_rules(const LexedFile& file, const std::string& rel,
                            rel.find("/tools/") != std::string::npos ||
                            rel.find("tools/") == 0;
 
+  // The serving hot path predicts through the frozen flat engine
+  // (ml::FlatForest via the bundle's predictor); a pointer-tree
+  // predict_row in serve code reintroduces the per-node cache-miss walk
+  // the freeze exists to eliminate.
+  const bool serve_scope = rel.find("/serve/") != std::string::npos ||
+                           rel.find("src/serve/") == 0;
+
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const Token& t = toks[i];
     if (t.kind == TokKind::kNumber) {
@@ -173,6 +182,10 @@ void run_token_rules(const LexedFile& file, const std::string& rel,
       report(t.line, "atomic-write",
              "direct ofstream write in the repository layer can tear "
              "entries on crash (use bf::atomic_write_file)");
+    } else if (serve_scope && t.text == "predict_row") {
+      report(t.line, "flat-predict",
+             "per-row tree walk in the serving layer (route predictions "
+             "through the frozen ml::FlatForest engine)");
     } else if (guard_scope && t.text == "predict_row") {
       report(t.line, "guarded-predict",
              "direct per-row model query bypasses the guard layer (use "

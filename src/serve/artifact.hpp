@@ -27,8 +27,12 @@
 
 namespace bf::serve {
 
-/// Current writer version of the outer bundle format.
-inline constexpr int kBundleFormatVersion = 1;
+/// Current writer version of the outer bundle format. Version 2 payloads
+/// embed the forest in its frozen flat inference layout ("bf_model 2" /
+/// "bf_flat_forest 1" records) instead of the pointer-tree dump; version 1
+/// bundles still load — their forest is frozen on load, so either vintage
+/// serves through the same flat hot path.
+inline constexpr int kBundleFormatVersion = 2;
 
 /// File suffix of model bundles ("reduce1.bfmodel").
 inline constexpr const char* kBundleSuffix = ".bfmodel";

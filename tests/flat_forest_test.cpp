@@ -1,0 +1,333 @@
+// Bit-identity suite for the flat inference engine: every prediction a
+// FlatForest makes — single row, batched, interval, NaN-repaired,
+// fault-corrupted, reloaded from disk — must equal the pointer forest's
+// output EXACTLY (EXPECT_EQ on doubles, not a tolerance). The freeze is
+// a pure re-layout; any drift means the stepping kernel or the tree-order
+// accumulation diverged from RandomForest.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/rng.hpp"
+#include "core/model.hpp"
+#include "ml/flat_forest.hpp"
+#include "ml/forest.hpp"
+
+namespace bf::ml {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+struct Synthetic {
+  linalg::Matrix x;
+  std::vector<double> y;
+};
+
+/// Interacting nonlinear response over four features so trees actually
+/// split on everything and leaves carry distinct values.
+Synthetic make_synthetic(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Synthetic s{linalg::Matrix(n, 4), std::vector<double>(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) s.x(i, j) = rng.uniform(-5, 5);
+    s.y[i] = 3.0 * s.x(i, 0) - 2.0 * s.x(i, 1) * s.x(i, 2) +
+             std::sin(s.x(i, 3)) + rng.normal(0.0, 0.3);
+  }
+  return s;
+}
+
+const std::vector<std::string> kNames = {"a", "b", "c", "d"};
+
+RandomForest fit_forest(std::uint64_t seed, std::size_t n_trees = 60) {
+  const auto data = make_synthetic(200, seed);
+  ForestParams p;
+  p.n_trees = n_trees;
+  p.seed = seed * 31 + 7;
+  p.importance = false;
+  RandomForest rf;
+  rf.fit(data.x, data.y, kNames, p);
+  return rf;
+}
+
+/// Probe rows spanning in-range, far-out-of-range and NaN cells.
+linalg::Matrix make_probes(std::uint64_t seed, std::size_t n = 64) {
+  Rng rng(seed);
+  linalg::Matrix x(n, 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) x(i, j) = rng.uniform(-8, 8);
+    if (i % 7 == 3) x(i, i % 4) = kNaN;                 // dropped counter
+    if (i % 11 == 5) x(i, 1) = rng.uniform(1e6, 1e7);  // extrapolation
+  }
+  return x;
+}
+
+TEST(FlatForest, LayoutNamesRoundTrip) {
+  EXPECT_STREQ(tree_layout_name(TreeLayout::kDepthFirst), "df");
+  EXPECT_STREQ(tree_layout_name(TreeLayout::kBreadthFirst), "bf");
+  EXPECT_EQ(tree_layout_from_name("df"), TreeLayout::kDepthFirst);
+  EXPECT_EQ(tree_layout_from_name("bf"), TreeLayout::kBreadthFirst);
+  EXPECT_THROW(tree_layout_from_name("zz"), Error);
+}
+
+TEST(FlatForest, FreezePreservesShape) {
+  const auto rf = fit_forest(1);
+  for (const auto layout : {TreeLayout::kDepthFirst,
+                            TreeLayout::kBreadthFirst}) {
+    const auto flat = FlatForest::freeze(rf, layout);
+    EXPECT_TRUE(flat.fitted());
+    EXPECT_EQ(flat.layout(), layout);
+    EXPECT_EQ(flat.n_trees(), 60u);
+    EXPECT_EQ(flat.feature_names(), kNames);
+    std::size_t pointer_nodes = 0;
+    for (std::size_t t = 0; t < rf.n_trees(); ++t) {
+      pointer_nodes += rf.tree(t).node_count();
+    }
+    EXPECT_EQ(flat.node_count(), pointer_nodes);
+  }
+}
+
+TEST(FlatForest, PredictRowBitIdenticalBothLayouts) {
+  const auto rf = fit_forest(2);
+  const auto probes = make_probes(12);
+  for (const auto layout : {TreeLayout::kDepthFirst,
+                            TreeLayout::kBreadthFirst}) {
+    const auto flat = FlatForest::freeze(rf, layout);
+    ForestScratch scratch;
+    for (std::size_t i = 0; i < probes.rows(); ++i) {
+      const double want = rf.predict_row(probes.row_ptr(i));
+      EXPECT_EQ(flat.predict_row(probes.row_ptr(i), scratch), want);
+      EXPECT_EQ(flat.predict_row(probes.row_ptr(i)), want);
+    }
+  }
+}
+
+TEST(FlatForest, BatchedPredictMatchesRowPath) {
+  const auto rf = fit_forest(3);
+  const auto probes = make_probes(13, 37);  // odd count: exercises the
+                                            // partial trailing block
+  const auto want = rf.predict(probes);
+  for (const auto layout : {TreeLayout::kDepthFirst,
+                            TreeLayout::kBreadthFirst}) {
+    const auto flat = FlatForest::freeze(rf, layout);
+    const auto got = flat.predict(probes);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "row " << i;
+    }
+  }
+}
+
+TEST(FlatForest, IntervalsBitIdenticalAcrossAlphas) {
+  const auto rf = fit_forest(4);
+  const auto probes = make_probes(14, 16);
+  const auto flat = FlatForest::freeze(rf, TreeLayout::kBreadthFirst);
+  ForestScratch scratch;
+  for (const double alpha : {0.02, 0.1, 0.5}) {
+    for (std::size_t i = 0; i < probes.rows(); ++i) {
+      const auto want = rf.predict_interval(probes.row_ptr(i), alpha);
+      const auto got = flat.predict_interval(probes.row_ptr(i), alpha,
+                                             scratch);
+      EXPECT_EQ(got.mean, want.mean);
+      EXPECT_EQ(got.lo, want.lo);
+      EXPECT_EQ(got.hi, want.hi);
+    }
+    const auto want_batch = rf.predict_intervals(probes, alpha);
+    const auto got_batch = flat.predict_intervals(probes, alpha);
+    ASSERT_EQ(got_batch.size(), want_batch.size());
+    for (std::size_t i = 0; i < want_batch.size(); ++i) {
+      EXPECT_EQ(got_batch[i].mean, want_batch[i].mean);
+      EXPECT_EQ(got_batch[i].lo, want_batch[i].lo);
+      EXPECT_EQ(got_batch[i].hi, want_batch[i].hi);
+    }
+  }
+}
+
+TEST(FlatForest, NanRowRepairedWithSameMedians) {
+  const auto rf = fit_forest(5);
+  const auto flat = FlatForest::freeze(rf);
+  const double all_nan[4] = {kNaN, kNaN, kNaN, kNaN};
+  EXPECT_EQ(flat.predict_row(all_nan), rf.predict_row(all_nan));
+  const double inf_row[4] = {1.0, std::numeric_limits<double>::infinity(),
+                             -2.0, -std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(flat.predict_row(inf_row), rf.predict_row(inf_row));
+}
+
+TEST(FlatForest, NanFaultCorruptsBothPathsIdentically) {
+  const auto rf = fit_forest(6);
+  const auto flat = FlatForest::freeze(rf);
+  const double row[4] = {0.5, -1.5, 2.5, -3.5};
+  // The fault fires once per predict call on its own deterministic RNG
+  // stream; at rate 1.0 both engines see the identical corruption.
+  fault::arm(fault::points::kForestNanFeature, 1.0);
+  const double want = rf.predict_row(row);
+  const double got = flat.predict_row(row);
+  fault::reset();
+  EXPECT_EQ(got, want);
+  // The corrupted prediction must differ from the clean one (the fault
+  // really replaced feature 0), and both clean paths must still agree.
+  EXPECT_NE(flat.predict_row(row), got);
+  EXPECT_EQ(flat.predict_row(row), rf.predict_row(row));
+}
+
+TEST(FlatForest, SaveLoadRoundTripExact) {
+  const auto rf = fit_forest(7);
+  const auto probes = make_probes(17, 24);
+  for (const auto layout : {TreeLayout::kDepthFirst,
+                            TreeLayout::kBreadthFirst}) {
+    const auto flat = FlatForest::freeze(rf, layout);
+    std::stringstream ss;
+    flat.save(ss);
+    const auto loaded = FlatForest::load(ss);
+    EXPECT_EQ(loaded.layout(), layout);
+    EXPECT_EQ(loaded.n_trees(), flat.n_trees());
+    EXPECT_EQ(loaded.node_count(), flat.node_count());
+    EXPECT_EQ(loaded.feature_names(), flat.feature_names());
+    EXPECT_EQ(loaded.feature_medians(), flat.feature_medians());
+    for (std::size_t i = 0; i < probes.rows(); ++i) {
+      EXPECT_EQ(loaded.predict_row(probes.row_ptr(i)),
+                flat.predict_row(probes.row_ptr(i)));
+    }
+  }
+}
+
+TEST(FlatForest, LoadRejectsGarbage) {
+  std::stringstream bad_magic("not_a_forest 1\n");
+  EXPECT_THROW(FlatForest::load(bad_magic), Error);
+  const auto flat = FlatForest::freeze(fit_forest(8, 4));
+  std::stringstream ss;
+  flat.save(ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);  // truncation
+  std::stringstream cut(text);
+  EXPECT_THROW(FlatForest::load(cut), Error);
+}
+
+TEST(FlatForest, PropertyRandomForestsBitIdentical) {
+  Rng rng(99);
+  for (std::uint64_t trial = 0; trial < 12; ++trial) {
+    const auto data = make_synthetic(40 + 10 * (trial % 5), 100 + trial);
+    ForestParams p;
+    p.n_trees = 1 + static_cast<std::size_t>(rng.uniform(0, 24));
+    p.max_depth = static_cast<std::size_t>(rng.uniform(0, 6));  // 0 = deep
+    p.min_node_size = 1 + static_cast<std::size_t>(rng.uniform(0, 7));
+    p.mtry = static_cast<std::size_t>(rng.uniform(0, 4));
+    p.importance = false;
+    p.seed = 1000 + trial;
+    RandomForest rf;
+    rf.fit(data.x, data.y, kNames, p);
+    const auto probes = make_probes(200 + trial, 16);
+    const auto df = FlatForest::freeze(rf, TreeLayout::kDepthFirst);
+    const auto bf = FlatForest::freeze(rf, TreeLayout::kBreadthFirst);
+    ForestScratch scratch;
+    for (std::size_t i = 0; i < probes.rows(); ++i) {
+      const double want = rf.predict_row(probes.row_ptr(i));
+      EXPECT_EQ(df.predict_row(probes.row_ptr(i), scratch), want)
+          << "trial " << trial << " row " << i;
+      EXPECT_EQ(bf.predict_row(probes.row_ptr(i), scratch), want)
+          << "trial " << trial << " row " << i;
+      const auto want_iv = rf.predict_interval(probes.row_ptr(i), 0.1);
+      const auto got_iv = bf.predict_interval(probes.row_ptr(i), 0.1,
+                                              scratch);
+      EXPECT_EQ(got_iv.lo, want_iv.lo);
+      EXPECT_EQ(got_iv.hi, want_iv.hi);
+    }
+  }
+}
+
+// ---- model-level round trips (the .bfmodel payload) ----
+
+ml::Dataset model_sweep() {
+  const auto data = make_synthetic(120, 55);
+  ml::Dataset ds;
+  std::vector<std::vector<double>> cols(4);
+  std::vector<double> time(data.y);
+  for (std::size_t i = 0; i < data.x.rows(); ++i) {
+    for (std::size_t j = 0; j < 4; ++j) cols[j].push_back(data.x(i, j));
+    time[i] = std::abs(time[i]) + 0.5;  // times are positive
+  }
+  for (std::size_t j = 0; j < 4; ++j) ds.add_column(kNames[j], cols[j]);
+  ds.add_column("time_ms", time);
+  return ds;
+}
+
+core::ModelOptions fast_model() {
+  core::ModelOptions opt;
+  opt.forest.n_trees = 50;
+  opt.forest.importance = false;
+  return opt;
+}
+
+TEST(FlatForestModel, V2SaveLoadPredictsIdentically) {
+  const auto model = core::BlackForestModel::fit(model_sweep(), fast_model());
+  std::stringstream ss;
+  model.save(ss);
+  EXPECT_EQ(ss.str().substr(0, 10), "bf_model 2");
+  const auto loaded = core::BlackForestModel::load(ss);
+  EXPECT_FALSE(loaded.forest().fitted());  // v2 carries the flat form only
+  EXPECT_TRUE(loaded.flat().fitted());
+  const auto probe = model_sweep().drop_columns({"time_ms"});
+  const auto want = model.predict(probe);
+  const auto got = loaded.predict(probe);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+  EXPECT_EQ(loaded.test_mse(), model.test_mse());
+  EXPECT_EQ(loaded.test_explained_variance(),
+            model.test_explained_variance());
+}
+
+TEST(FlatForestModel, V1StreamFreezesOnLoad) {
+  const auto model = core::BlackForestModel::fit(model_sweep(), fast_model());
+  // Hand-compose the pre-flat record: header, predictors, statistics and
+  // the full pointer-forest dump — exactly what a version-1 exporter
+  // wrote. Loading it must freeze on the spot and predict identically.
+  std::stringstream v1;
+  v1.precision(17);
+  v1 << "bf_model 1\n";
+  v1 << model.predictors().size();
+  for (const auto& p : model.predictors()) v1 << ' ' << p;
+  v1 << "\n";
+  v1 << model.test_mse() << ' ' << model.test_explained_variance() << "\n";
+  model.forest().save(v1);
+  const auto loaded = core::BlackForestModel::load(v1);
+  EXPECT_TRUE(loaded.forest().fitted());  // v1 keeps the pointer trees
+  EXPECT_TRUE(loaded.flat().fitted());
+  const auto probe = model_sweep().drop_columns({"time_ms"});
+  const auto want = model.predict(probe);
+  const auto got = loaded.predict(probe);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+}
+
+TEST(FlatForestModel, GuardedIntervalPathMatchesPointerForest) {
+  const auto model = core::BlackForestModel::fit(model_sweep(), fast_model());
+  const auto probes = make_probes(300, 12);
+  ForestScratch scratch;
+  for (std::size_t i = 0; i < probes.rows(); ++i) {
+    // The exact call the guarded predictor hot path makes...
+    const auto got = model.predict_interval(probes.row_ptr(i), 0.1, scratch);
+    // ...against the training-side pointer forest it froze from.
+    const auto want = model.forest().predict_interval(probes.row_ptr(i), 0.1);
+    EXPECT_EQ(got.mean, want.mean);
+    EXPECT_EQ(got.lo, want.lo);
+    EXPECT_EQ(got.hi, want.hi);
+  }
+}
+
+TEST(FlatForestModel, RefreezeIsLayoutInvariant) {
+  auto model = core::BlackForestModel::fit(model_sweep(), fast_model());
+  const auto probe = model_sweep().drop_columns({"time_ms"});
+  const auto want = model.predict(probe);
+  model.refreeze(TreeLayout::kBreadthFirst);
+  EXPECT_EQ(model.flat().layout(), TreeLayout::kBreadthFirst);
+  const auto got = model.predict(probe);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+}
+
+}  // namespace
+}  // namespace bf::ml

@@ -1,0 +1,14 @@
+// Fixture: seeded flat-predict violations — a pointer-tree per-row walk
+// inside the serving layer, which must route predictions through the
+// frozen flat inference engine instead.
+struct Tree {
+  double predict_row(const double* x) const;  // seeded: flat-predict
+};
+
+double serve_one(const Tree& t, const double* x) {
+  return t.predict_row(x);  // seeded: flat-predict
+}
+
+double audited_exit(const Tree& t, const double* x) {
+  return t.predict_row(x);  // bf-lint: allow(flat-predict)
+}

@@ -1,0 +1,99 @@
+#!/bin/sh
+# Chaos e2e: cache thrash under a saturated connection layer. One bundle
+# is exported and copied to many model names (the registry keys bundles
+# by file name), the server gets a cache far smaller than the model set
+# plus a tiny admission queue, and unpaced multi-model traffic hammers
+# it so every few requests evict a bundle another connection is about to
+# need. The run must complete (no deadlock in the single-flight load
+# path while the queue sheds), every request must get an answer, the
+# shed fraction must stay bounded, and the registry counters must prove
+# both real thrash (evictions happened) and single-flight loading
+# (disk loads never exceed cache misses). Run by ctest as
+#   serve_cache_thrash_e2e.sh <bf_analyze> <bf_serve> <bf_loadgen>
+set -eu
+
+BF_ANALYZE=$1
+BF_SERVE=$2
+BF_LOADGEN=$3
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/bf_cache_thrash.XXXXXX")
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_cache_thrash_e2e: FAIL: $1" >&2
+  [ -f "$WORK/serve.log" ] && cat "$WORK/serve.log" >&2
+  [ -f "$WORK/stats.json" ] && cat "$WORK/stats.json" >&2
+  exit 1
+}
+
+# Pull the integer value of "key":N out of a one-line JSON file.
+jint() {
+  sed -n "s/.*\"$2\":\([0-9][0-9]*\).*/\1/p" "$1"
+}
+
+# --- train once, fan the bundle out to 8 model names ---
+"$BF_ANALYZE" --workload reduce1 --runs 8 --trees 30 \
+    --min 16384 --max 1048576 \
+    --export-model "$WORK/m0.bfmodel" >/dev/null
+MODELS=m0
+for i in 1 2 3 4 5 6 7; do
+  cp "$WORK/m0.bfmodel" "$WORK/m$i.bfmodel"
+  MODELS="$MODELS,m$i"
+done
+
+# --- server: cache of 2 bundles vs 8 models, tiny admission queue ---
+SOCK="$WORK/bf.sock"
+"$BF_SERVE" --model-dir "$WORK" --socket "$SOCK" \
+    --cache 2 --max-queue 8 --timeout-ms 10000 --drain-ms 3000 \
+    2>"$WORK/serve.log" &
+SERVE_PID=$!
+
+tries=0
+while [ ! -S "$SOCK" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -gt 100 ] && fail "server never bound $SOCK"
+  kill -0 "$SERVE_PID" 2>/dev/null || fail "server died during startup"
+  sleep 0.1
+done
+
+# --- unpaced (qps 0) multi-model traffic across 8 connections ---
+BENCH="$WORK/bench.json"
+STATS="$WORK/stats.json"
+"$BF_LOADGEN" --socket "$SOCK" --models "$MODELS" \
+    --requests 320 --conns 8 --seed 11 \
+    --out "$BENCH" --stats-out "$STATS" >/dev/null \
+    || fail "bf_loadgen reported no successful requests"
+[ -f "$BENCH" ] || fail "bench.json was not written"
+[ -f "$STATS" ] || fail "stats.json was not written"
+
+# --- every request answered: nothing hung, nothing dropped ---
+ok=$(jint "$BENCH" ok); shed=$(jint "$BENCH" shed)
+errors=$(jint "$BENCH" errors); no_reply=$(jint "$BENCH" no_reply)
+[ "$no_reply" -eq 0 ] || fail "$no_reply requests got no reply"
+[ "$errors" -eq 0 ] || fail "$errors requests errored"
+[ $((ok + shed)) -eq 320 ] || fail "answered $((ok + shed))/320 requests"
+
+# --- bounded shed: overload control may trip, but most traffic lands ---
+[ "$ok" -ge 240 ] || fail "only $ok/320 ok (shed fraction above 0.25)"
+
+# --- the cache really thrashed, and loads stayed single-flight ---
+misses=$(jint "$STATS" misses); loads=$(jint "$STATS" loads)
+evictions=$(jint "$STATS" evictions); failures=$(jint "$STATS" failures)
+[ "$evictions" -ge 6 ] || fail "only $evictions evictions; no thrash"
+[ "$failures" -eq 0 ] || fail "$failures bundle loads failed"
+[ "$loads" -ge 1 ] || fail "stats report no disk loads"
+[ "$loads" -le "$misses" ] || fail "loads $loads > misses $misses"
+
+# --- server healthy, then graceful drain ---
+kill -0 "$SERVE_PID" 2>/dev/null || fail "server died under thrash"
+kill -TERM "$SERVE_PID"
+rc=0
+wait "$SERVE_PID" || rc=$?
+[ "$rc" -eq 0 ] || fail "drain exited $rc, want 0"
+SERVE_PID=""
+
+echo "serve_cache_thrash_e2e: OK"

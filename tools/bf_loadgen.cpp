@@ -55,6 +55,8 @@ void usage() {
   std::printf(
       "usage: bf_loadgen (--socket PATH | --tcp HOST:PORT) [options]\n"
       "  --model NAME      model for synthesized requests (default reduce1)\n"
+      "  --models A,B,...  round-robin synthesized requests over several\n"
+      "                    models (cache-thrash traffic; overrides --model)\n"
       "  --requests N      total measured requests (default 200)\n"
       "  --conns N         concurrent connections (default 4)\n"
       "  --qps Q           target requests/second, 0 = unpaced (default 0)\n"
@@ -69,6 +71,8 @@ void usage() {
       "  --timeout-ms N    per-reply client timeout (default 10000)\n"
       "  --seed N          RNG seed for sizes (default 1)\n"
       "  --out FILE        report path (default BENCH_serve.json)\n"
+      "  --stats-out FILE  after the run, fetch {\"cmd\":\"stats\"} over a\n"
+      "                    fresh connection and write the reply to FILE\n"
       "  --version         print the build identity and exit\n");
 }
 
@@ -77,6 +81,7 @@ struct Args {
   std::string tcp_host;
   int tcp_port = -1;
   std::string model = "reduce1";
+  std::vector<std::string> models;
   std::size_t requests = 200;
   std::size_t conns = 4;
   double qps = 0.0;
@@ -88,6 +93,7 @@ struct Args {
   int timeout_ms = 10000;
   std::uint64_t seed = 1;
   std::string out_path = "BENCH_serve.json";
+  std::string stats_out_path;
 };
 
 Args parse(int argc, char** argv) {
@@ -108,6 +114,9 @@ Args parse(int argc, char** argv) {
       args.tcp_port = static_cast<int>(parse_int(spec.substr(colon + 1)));
     } else if (a == "--model") {
       args.model = next();
+    } else if (a == "--models") {
+      args.models = split(next(), ',');
+      BF_CHECK_MSG(!args.models.empty(), "--models needs at least one name");
     } else if (a == "--requests") {
       args.requests = static_cast<std::size_t>(parse_int(next()));
     } else if (a == "--conns") {
@@ -130,6 +139,8 @@ Args parse(int argc, char** argv) {
       args.seed = static_cast<std::uint64_t>(parse_int(next()));
     } else if (a == "--out") {
       args.out_path = next();
+    } else if (a == "--stats-out") {
+      args.stats_out_path = next();
     } else if (a == "--version") {
       std::printf("%s\n", bf::version_string().c_str());
       std::exit(0);
@@ -307,11 +318,14 @@ int main(int argc, char** argv) {
       Rng rng(args.seed);
       const double lo = std::log(args.size_min);
       const double hi = std::log(std::max(args.size_max, args.size_min));
+      const std::vector<std::string> models =
+          args.models.empty() ? std::vector<std::string>{args.model}
+                              : args.models;
       trace.reserve(args.requests);
       for (std::size_t k = 0; k < args.requests; ++k) {
         const double size = std::floor(std::exp(rng.uniform(lo, hi)));
         std::ostringstream os;
-        os << "{\"cmd\":\"predict\",\"model\":\"" << args.model
+        os << "{\"cmd\":\"predict\",\"model\":\"" << models[k % models.size()]
            << "\",\"size\":" << size << ",\"id\":" << k << '}';
         trace.push_back(os.str());
       }
@@ -441,6 +455,17 @@ int main(int argc, char** argv) {
        << ",\"disconnects_done\":" << disconnects_done.load() << "}}\n";
     bf::atomic_write_file(args.out_path, os.str());
     std::printf("%s", os.str().c_str());
+
+    // Post-run server introspection: the cache/connection counters that
+    // e2e harnesses assert on (single-flight loads, evictions, sheds).
+    if (!args.stats_out_path.empty()) {
+      Client client(connect_target(args));
+      std::string reply;
+      BF_CHECK_MSG(client.send_all("{\"cmd\":\"stats\"}\n") &&
+                       client.read_line(reply, args.timeout_ms),
+                   "stats fetch failed");
+      bf::atomic_write_file(args.stats_out_path, reply + "\n");
+    }
 
     return ok > 0 ? 0 : 1;
   } catch (const bf::Error& e) {
