@@ -63,6 +63,15 @@ inline constexpr const char* kServeArtifactBitrot = "serve.artifact.bitrot";
 /// A model-registry disk load fails outright (I/O error); the cache must
 /// stay consistent and the next request for the key must retry.
 inline constexpr const char* kServeCacheLoadFail = "serve.cache.load_fail";
+/// A staged hot-reload bundle is treated as corrupt after parsing (torn
+/// replacement write); the registry must quarantine the file and keep
+/// serving the old generation.
+inline constexpr const char* kServeReloadCorrupt = "serve.reload.corrupt";
+/// Golden-probe canary validation of a loaded bundle fails (the staged
+/// model disagrees with its own recorded probe outputs); on the reload
+/// path the old generation must keep serving and a rollback is counted.
+inline constexpr const char* kServeReloadCanaryFail =
+    "serve.reload.canary_fail";
 /// The connection layer skips one ready reply-write round (a stalled
 /// socket); the reply must still be delivered on a later round.
 inline constexpr const char* kServeNetStall = "serve.net.stall";

@@ -28,6 +28,9 @@ const std::vector<RuleSpec> kRegistry = {
      "direct per-row model query in core/tools bypasses the guard layer"},
     {"flat-predict", Severity::kError,
      "serve-layer per-row tree walk bypasses the flat inference engine"},
+    {"registry-swap", Severity::kError,
+     "serve-layer raw model pointer can dangle across a hot-reload swap "
+     "(pin the generation with a shared_ptr)"},
     {"artifact-version", Severity::kError,
      "serialized-struct reader must check the format version first"},
     {"include-cycle", Severity::kError,
@@ -186,6 +189,18 @@ void run_token_rules(const LexedFile& file, const std::string& rel,
       report(t.line, "flat-predict",
              "per-row tree walk in the serving layer (route predictions "
              "through the frozen ml::FlatForest engine)");
+    } else if (serve_scope &&
+               (t.text == "ModelBundle" || t.text == "LoadedModel" ||
+                t.text == "BundleModel") &&
+               i + 1 < toks.size() && toks[i + 1].text == "*") {
+      // Hot reload swaps generations under readers; a raw pointer held
+      // across a batch boundary dangles the moment the old generation's
+      // last shared_ptr drops. Only shared_ptr pins are allowed.
+      report(t.line, "registry-swap",
+             "raw " + t.text +
+                 "* in the serving layer can dangle across a hot-reload "
+                 "swap (pin the generation with "
+                 "std::shared_ptr<const LoadedModel>)");
     } else if (guard_scope && t.text == "predict_row") {
       report(t.line, "guarded-predict",
              "direct per-row model query bypasses the guard layer (use "

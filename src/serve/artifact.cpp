@@ -1,12 +1,17 @@
 #include "serve/artifact.hpp"
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <sstream>
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/io.hpp"
 #include "common/version.hpp"
+#include "guard/guard.hpp"
+#include "profiling/sweep.hpp"
 
 namespace bf::serve {
 namespace {
@@ -43,6 +48,16 @@ std::string payload_to_string(const ModelBundle& bundle) {
   os << "schema " << bundle.meta.schema.size();
   for (const auto& name : bundle.meta.schema) os << ' ' << name;
   os << "\n";
+  if (!bundle.meta.probes.empty()) {
+    // Golden-probe record: additive, written only when present, so v2
+    // bundles without probes stay byte-identical to the previous writer.
+    os.precision(17);
+    os << "probes " << bundle.meta.probes.size();
+    for (const auto& p : bundle.meta.probes) {
+      os << ' ' << p.size << ' ' << p.predicted_ms;
+    }
+    os << "\n";
+  }
   bundle.predictor.save(os);
   return os.str();
 }
@@ -81,6 +96,23 @@ ModelBundle payload_from_string(const std::string& payload,
     is >> name;
     BF_CHECK_MSG(is, origin << ": truncated bundle schema");
   }
+  // Optional golden-probe record (older bundles stop at the schema line;
+  // peek the tag and rewind when the predictor record starts directly).
+  const std::istringstream::pos_type before_probes = is.tellg();
+  if (is >> tag && tag == "probes") {
+    std::size_t n_probes = 0;
+    is >> n_probes;
+    BF_CHECK_MSG(is && n_probes <= 10'000,
+                 origin << ": bad bundle meta (probes)");
+    bundle.meta.probes.resize(n_probes);
+    for (auto& p : bundle.meta.probes) {
+      is >> p.size >> p.predicted_ms;
+      BF_CHECK_MSG(is, origin << ": truncated bundle probes");
+    }
+  } else {
+    is.clear();
+    is.seekg(before_probes);
+  }
   bundle.predictor = core::ProblemScalingPredictor::load(is);
   // The schema must describe the model it travels with: retained
   // counters drive the counter chains and the reduced forest inputs.
@@ -89,24 +121,15 @@ ModelBundle payload_from_string(const std::string& payload,
   return bundle;
 }
 
-}  // namespace
-
-std::string bundle_to_string(const ModelBundle& bundle) {
-  const std::string payload = payload_to_string(bundle);
-  std::ostringstream os;
-  os << "bfmodel " << kBundleFormatVersion << "\n";
-  os << "bytes " << payload.size() << "\n";
-  os << "checksum fnv1a64 " << to_hex64(fnv1a64(payload)) << "\n";
-  os << payload;
-  return os.str();
-}
-
-ModelBundle bundle_from_string(const std::string& content,
-                               const std::string& origin) {
+/// Full parse of bundle file content, keeping the on-disk identity
+/// (checksum, format version) the reload layer supervises. The stat
+/// fields of the returned BundleFile are left zero; load_bundle_file
+/// fills them from the filesystem.
+BundleFile bundle_file_from_string(const std::string& content,
+                                   const std::string& origin) {
   std::istringstream is(content);
   const int format_version =
       read_format_version(is, "bfmodel", kBundleFormatVersion);
-  (void)format_version;
   std::string tag;
   std::size_t payload_size = 0;
   is >> tag >> payload_size;
@@ -130,14 +153,16 @@ ModelBundle bundle_from_string(const std::string& content,
   BF_CHECK_MSG(got_hex == want_hex,
                origin << ": bundle checksum mismatch (stored " << want_hex
                       << ", computed " << got_hex << ")");
-  return payload_from_string(payload, origin);
+  BundleFile file;
+  file.bundle = payload_from_string(payload, origin);
+  file.checksum = got_hex;
+  file.format_version = format_version;
+  return file;
 }
 
-void save_bundle(const std::string& path, const ModelBundle& bundle) {
-  atomic_write_file(path, bundle_to_string(bundle));
-}
-
-ModelBundle load_bundle(const std::string& path) {
+/// Shared read path of load_bundle / load_bundle_file: read, inject the
+/// bitrot fault, parse; quarantine the file on any parse failure.
+BundleFile read_bundle_file(const std::string& path) {
   auto content = read_file(path);
   BF_CHECK_MSG(content.has_value(), "cannot open model bundle " << path);
   if (fault::should_fire(fault::points::kServeArtifactBitrot) &&
@@ -147,17 +172,150 @@ ModelBundle load_bundle(const std::string& path) {
     (*content)[content->size() / 2] ^= 0x01;
   }
   try {
-    return bundle_from_string(*content, path);
+    BundleFile file = bundle_file_from_string(*content, path);
+    // A staged replacement bundle that parses cleanly can still be
+    // declared corrupt by the reload chaos point (torn-replacement
+    // emulation); it takes the same quarantine path as real damage.
+    BF_CHECK_MSG(!fault::should_fire(fault::points::kServeReloadCorrupt),
+                 path << ": injected reload corruption");
+    file.size_bytes = static_cast<std::uint64_t>(content->size());
+    return file;
   } catch (const Error&) {
     quarantine(path);
     throw;
   }
 }
 
+}  // namespace
+
+std::string bundle_to_string(const ModelBundle& bundle) {
+  const std::string payload = payload_to_string(bundle);
+  std::ostringstream os;
+  os << "bfmodel " << kBundleFormatVersion << "\n";
+  os << "bytes " << payload.size() << "\n";
+  os << "checksum fnv1a64 " << to_hex64(fnv1a64(payload)) << "\n";
+  os << payload;
+  return os.str();
+}
+
+ModelBundle bundle_from_string(const std::string& content,
+                               const std::string& origin) {
+  return bundle_file_from_string(content, origin).bundle;
+}
+
+void save_bundle(const std::string& path, const ModelBundle& bundle) {
+  atomic_write_file(path, bundle_to_string(bundle));
+}
+
+void quarantine_bundle(const std::string& path) { quarantine(path); }
+
+bool stat_bundle(const std::string& path, std::uint64_t* size_bytes,
+                 std::int64_t* mtime_ns) {
+  std::error_code ec;
+  const auto status = std::filesystem::status(path, ec);
+  if (ec || !std::filesystem::is_regular_file(status)) return false;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return false;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return false;
+  if (size_bytes != nullptr) *size_bytes = static_cast<std::uint64_t>(size);
+  if (mtime_ns != nullptr) {
+    *mtime_ns = static_cast<std::int64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            mtime.time_since_epoch())
+            .count());
+  }
+  return true;
+}
+
+ModelBundle load_bundle(const std::string& path) {
+  return read_bundle_file(path).bundle;
+}
+
+BundleFile load_bundle_file(const std::string& path) {
+  BundleFile file = read_bundle_file(path);
+  // The stat snapshot is taken after the successful read: a writer that
+  // lands between read and stat makes the snapshot *newer* than the
+  // loaded content, so the watcher re-detects the change — staleness
+  // detection errs toward an extra reload, never a missed one.
+  std::uint64_t size_bytes = 0;
+  std::int64_t mtime_ns = 0;
+  if (stat_bundle(path, &size_bytes, &mtime_ns)) {
+    file.size_bytes = size_bytes;
+    file.mtime_ns = mtime_ns;
+  }
+  return file;
+}
+
+bool validate_canary(const ModelBundle& bundle, double rtol,
+                     std::string* why) {
+  const auto fail = [why](std::string msg) {
+    if (why != nullptr) *why = std::move(msg);
+    return false;
+  };
+  if (fault::should_fire(fault::points::kServeReloadCanaryFail)) {
+    return fail("injected canary failure");
+  }
+  std::vector<GoldenProbe> probes = bundle.meta.probes;
+  const bool recorded = !probes.empty();
+  if (!recorded) {
+    // Pre-probe bundle: synthesize sizes from the training hull and
+    // check the predictions are well-formed (there is no recorded
+    // output to compare against).
+    const auto* range = bundle.predictor.hull().range(profiling::kSizeColumn);
+    if (range == nullptr) return true;  // hull-less legacy bundle
+    const double lo = std::max(range->lo, 1.0);
+    const double hi = std::max(range->hi, lo);
+    constexpr int kSynthesized = 3;
+    for (int i = 0; i < kSynthesized; ++i) {
+      const double t =
+          kSynthesized == 1 ? 0.0 : static_cast<double>(i) / (kSynthesized - 1);
+      probes.push_back({std::exp(std::log(lo) + t * (std::log(hi) - std::log(lo))),
+                        0.0});
+    }
+  }
+  for (const auto& p : probes) {
+    guard::PredictionGuardRecord pred;
+    try {
+      pred = bundle.predictor.predict_guarded(p.size);
+    } catch (const std::exception& e) {
+      std::ostringstream os;
+      os << "canary probe size=" << p.size << " threw: " << e.what();
+      return fail(os.str());
+    }
+    if (!std::isfinite(pred.value) || pred.value < 0.0) {
+      std::ostringstream os;
+      os << "canary probe size=" << p.size << " produced non-finite or "
+         << "negative prediction " << pred.value;
+      return fail(os.str());
+    }
+    const char grade = guard::grade_letter(pred.grade);
+    if (grade != 'A' && grade != 'B' && grade != 'C') {
+      std::ostringstream os;
+      os << "canary probe size=" << p.size << " is not guard-gradeable"
+         << " (grade " << grade << ")";
+      return fail(os.str());
+    }
+    if (recorded) {
+      const double tol = rtol * std::max(std::abs(p.predicted_ms), 1e-12);
+      if (std::abs(pred.value - p.predicted_ms) > tol) {
+        std::ostringstream os;
+        os.precision(17);
+        os << "canary probe size=" << p.size << " predicted " << pred.value
+           << " but the bundle recorded " << p.predicted_ms << " (rtol "
+           << rtol << ")";
+        return fail(os.str());
+      }
+    }
+  }
+  return true;
+}
+
 void export_model(const std::string& path, const std::string& name,
                   const std::string& workload, const std::string& arch,
                   std::size_t trained_rows,
-                  const core::ProblemScalingPredictor& predictor) {
+                  const core::ProblemScalingPredictor& predictor,
+                  std::size_t probe_count) {
   ModelBundle bundle;
   bundle.meta.name = name;
   bundle.meta.workload = workload;
@@ -166,6 +324,25 @@ void export_model(const std::string& path, const std::string& name,
   bundle.meta.trained_rows = trained_rows;
   bundle.meta.schema = predictor.retained();
   bundle.predictor = predictor;
+  // Record golden probes: log-spaced sizes across the training hull,
+  // answered by the exporter's own predictor. Round-trips are
+  // bit-identical, so a healthy reload reproduces these outputs exactly.
+  const auto* range = predictor.hull().range(profiling::kSizeColumn);
+  if (probe_count > 0 && range != nullptr) {
+    const double lo = std::max(range->lo, 1.0);
+    const double hi = std::max(range->hi, lo);
+    bundle.meta.probes.reserve(probe_count);
+    for (std::size_t i = 0; i < probe_count; ++i) {
+      const double t = probe_count == 1
+                           ? 0.0
+                           : static_cast<double>(i) /
+                                 static_cast<double>(probe_count - 1);
+      const double size =
+          std::exp(std::log(lo) + t * (std::log(hi) - std::log(lo)));
+      bundle.meta.probes.push_back(
+          {size, predictor.predict_guarded(size).value});
+    }
+  }
   save_bundle(path, bundle);
 }
 

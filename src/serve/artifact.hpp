@@ -37,6 +37,16 @@ inline constexpr int kBundleFormatVersion = 2;
 /// File suffix of model bundles ("reduce1.bfmodel").
 inline constexpr const char* kBundleSuffix = ".bfmodel";
 
+/// One golden-probe canary point: a problem size and the guarded
+/// prediction the exporter's in-memory predictor produced for it. Since
+/// bundle round-trips are bit-identical, a healthy reload reproduces
+/// these outputs exactly; a torn, stale-schema or otherwise damaged
+/// bundle that still parses will not.
+struct GoldenProbe {
+  double size = 0.0;
+  double predicted_ms = 0.0;
+};
+
 struct BundleMeta {
   /// Model name (registry display key); sanitised to one token.
   std::string name;
@@ -50,12 +60,32 @@ struct BundleMeta {
   /// Counter-name schema: the reduced model's predictor columns, in
   /// order. Validated against the embedded forest on load.
   std::vector<std::string> schema;
+  /// Golden-probe record written at export time (additive, v2-compatible:
+  /// bundles written before this record existed load with no probes and
+  /// are canary-checked against hull-synthesized sizes instead).
+  std::vector<GoldenProbe> probes;
 };
 
 struct ModelBundle {
   BundleMeta meta;
   core::ProblemScalingPredictor predictor;
 };
+
+/// A bundle plus the on-disk identity the hot-reload layer supervises:
+/// payload checksum, outer format version and the stat snapshot used
+/// for cheap staleness detection.
+struct BundleFile {
+  ModelBundle bundle;
+  std::string checksum;    ///< fnv1a64 hex of the payload
+  int format_version = 0;  ///< outer "bfmodel" header version
+  std::uint64_t size_bytes = 0;
+  std::int64_t mtime_ns = 0;
+};
+
+/// Stat a bundle file without reading it (the staleness fast path).
+/// Returns false when the file does not exist.
+bool stat_bundle(const std::string& path, std::uint64_t* size_bytes,
+                 std::int64_t* mtime_ns);
 
 /// Serialise a bundle to its full file content (header + payload).
 std::string bundle_to_string(const ModelBundle& bundle);
@@ -76,10 +106,32 @@ void save_bundle(const std::string& path, const ModelBundle& bundle);
 /// disk and the parser to prove that path works.
 ModelBundle load_bundle(const std::string& path);
 
-/// Convenience: assemble meta + predictor and save.
+/// load_bundle plus the identity record the registry's reload
+/// supervision needs (checksum, format version, stat snapshot).
+BundleFile load_bundle_file(const std::string& path);
+
+/// Move a rejected bundle to "<path>.quarantined" (the load path does
+/// this automatically on parse failure; the reload path calls it for
+/// bundles that parse but fail canary validation).
+void quarantine_bundle(const std::string& path);
+
+/// Golden-probe canary validation: every probe prediction must be
+/// finite, non-negative, guard-gradeable, and within `rtol` relative
+/// tolerance of the bundle's own recorded output. Bundles without a
+/// probe record are checked for finiteness on sizes synthesized from
+/// the training hull. The fault point serve.reload.canary_fail forces a
+/// failure deterministically. Returns true when the canary passes;
+/// otherwise fills `why` with the first violation.
+bool validate_canary(const ModelBundle& bundle, double rtol,
+                     std::string* why);
+
+/// Convenience: assemble meta + predictor and save. `probe_count` > 0
+/// records that many golden probes (log-spaced across the training
+/// hull) into the bundle for reload-time canary validation.
 void export_model(const std::string& path, const std::string& name,
                   const std::string& workload, const std::string& arch,
                   std::size_t trained_rows,
-                  const core::ProblemScalingPredictor& predictor);
+                  const core::ProblemScalingPredictor& predictor,
+                  std::size_t probe_count = 5);
 
 }  // namespace bf::serve

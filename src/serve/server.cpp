@@ -33,6 +33,10 @@ std::string render_id(const JsonValue& v) {
   }
 }
 
+bool is_admin_cmd(const std::string& cmd) {
+  return cmd == "reload" || cmd == "pin" || cmd == "unpin";
+}
+
 }  // namespace
 
 std::string make_error_reply(const std::string& id_json,
@@ -53,8 +57,14 @@ struct Server::Request {
   std::string model;
   double size = 0.0;
   std::string id_json;
-  std::shared_ptr<const ModelBundle> bundle;
-  std::string bundle_error;
+  /// Generation pinned for this request: the shared_ptr keeps the model
+  /// alive across the whole batch even if it is evicted or a reload
+  /// promotes a newer generation meanwhile.
+  std::shared_ptr<const LoadedModel> model_ref;
+  std::string model_error;
+  /// Reply of an admin verb (reload/pin/unpin), rendered sequentially
+  /// before the predict fan-out.
+  std::string admin_rendered;
   /// Coalescing key: model + '\0' + canonical size rendering. Empty for
   /// anything that is not a computable predict request.
   std::string coalesce_key;
@@ -70,12 +80,45 @@ struct Server::Computed {
 };
 
 Server::Server(const ServerOptions& options)
-    : registry_(options.model_dir, options.cache_capacity) {
+    : registry_(options.model_dir, options.cache_capacity, options.reload),
+      allow_reload_(options.allow_reload),
+      watch_ms_(options.allow_reload ? options.reload_watch_ms : 0) {
   if (options.threads > 0) {
     owned_pool_ = std::make_unique<ThreadPool>(options.threads);
     pool_ = owned_pool_.get();
   } else {
     pool_ = &ThreadPool::global();
+  }
+  if (watch_ms_ > 0) {
+    watcher_ = std::thread(&Server::watch_loop, this);
+  }
+}
+
+Server::~Server() {
+  if (watcher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watch_mu_);
+      stopping_ = true;
+    }
+    watch_cv_.notify_all();
+    watcher_.join();
+  }
+}
+
+void Server::watch_loop() {
+  std::unique_lock<std::mutex> lock(watch_mu_);
+  while (!stopping_) {
+    const bool stop = watch_cv_.wait_for(
+        lock, std::chrono::milliseconds(watch_ms_), [this] { return stopping_; });
+    if (stop) break;
+    lock.unlock();
+    try {
+      registry_.poll_stale();
+    } catch (...) {
+      // The watcher must outlive any single bad poll; failures are
+      // already recorded in the registry's lifecycle state.
+    }
+    lock.lock();
   }
 }
 
@@ -104,17 +147,21 @@ Server::Request Server::parse_request(const std::string& line) const {
     req.valid = true;
     return req;
   }
-  if (req.cmd != "predict") {
+  if (req.cmd != "predict" && !is_admin_cmd(req.cmd)) {
     req.parse_error = "unknown cmd \"" + req.cmd + "\"";
     return req;
   }
   const JsonValue* model = doc.find("model");
   if (model == nullptr || model->type != JsonValue::Type::kString ||
       model->str.empty()) {
-    req.parse_error = "predict needs a string \"model\"";
+    req.parse_error = req.cmd + " needs a string \"model\"";
     return req;
   }
   req.model = model->str;
+  if (is_admin_cmd(req.cmd)) {
+    req.valid = true;
+    return req;
+  }
   const JsonValue* size = doc.find("size");
   if (size == nullptr || size->type != JsonValue::Type::kNumber ||
       !std::isfinite(size->number) || size->number <= 0.0) {
@@ -124,6 +171,32 @@ Server::Request Server::parse_request(const std::string& line) const {
   req.size = size->number;
   req.valid = true;
   return req;
+}
+
+std::string Server::admin_reply(const Request& req) {
+  if (!allow_reload_) {
+    return make_error_reply(req.id_json, "reload_disabled",
+                            "hot reload administration is disabled");
+  }
+  std::ostringstream os;
+  os << '{';
+  if (!req.id_json.empty()) os << "\"id\":" << req.id_json << ',';
+  os << "\"ok\":true,\"cmd\":\"" << json_escape(req.cmd) << "\",\"model\":\""
+     << json_escape(req.model) << '"';
+  if (req.cmd == "reload") {
+    const ReloadResult result = registry_.reload(req.model);
+    os << ",\"status\":\"" << to_string(result.status) << "\""
+       << ",\"generation\":" << result.generation;
+    if (!result.error.empty()) {
+      os << ",\"error\":\"" << json_escape(result.error) << '"';
+    }
+  } else {
+    const bool resident = req.cmd == "pin" ? registry_.pin(req.model)
+                                           : registry_.unpin(req.model);
+    os << ",\"resident\":" << (resident ? "true" : "false");
+  }
+  os << '}';
+  return os.str();
 }
 
 std::string Server::render_reply(const Request& req,
@@ -136,6 +209,7 @@ std::string Server::render_reply(const Request& req,
   os << '{';
   if (!req.id_json.empty()) os << "\"id\":" << req.id_json << ',';
   os << "\"ok\":true,\"model\":\"" << json_escape(req.model) << "\""
+     << ",\"generation\":" << req.model_ref->generation
      << ",\"size\":" << json_number(req.size)
      << ",\"predicted_ms\":" << json_number(rec.value)
      << ",\"interval_lo_ms\":" << json_number(rec.lo)
@@ -152,6 +226,8 @@ std::string Server::stats_reply() const {
   os << "{\"ok\":true,\"cmd\":\"stats\",\"hits\":" << s.hits
      << ",\"misses\":" << s.misses << ",\"loads\":" << s.loads
      << ",\"evictions\":" << s.evictions << ",\"failures\":" << s.failures
+     << ",\"fast_fails\":" << s.fast_fails << ",\"reloads\":" << s.reloads
+     << ",\"promotions\":" << s.promotions << ",\"rollbacks\":" << s.rollbacks
      << ",\"coalesced\":" << coalesced_.load(std::memory_order_relaxed)
      << ",\"resident\":[";
   bool first = true;
@@ -159,6 +235,17 @@ std::string Server::stats_reply() const {
     if (!first) os << ',';
     first = false;
     os << '"' << json_escape(name) << '"';
+  }
+  os << "],\"models\":[";
+  first = true;
+  for (const auto& info : registry_.models()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(info.name)
+       << "\",\"generation\":" << info.generation << ",\"checksum\":\""
+       << json_escape(info.checksum) << "\",\"loaded_at\":\""
+       << json_escape(info.loaded_at) << "\",\"rollbacks\":" << info.rollbacks
+       << ",\"pinned\":" << (info.pinned ? "true" : "false") << '}';
   }
   os << "]";
   if (net_ != nullptr) {
@@ -194,15 +281,24 @@ std::vector<std::string> Server::handle_batch(
   requests.reserve(lines.size());
   for (const auto& line : lines) requests.push_back(parse_request(line));
 
+  // Admin verbs run first, sequentially, in input order — a reload in a
+  // batch takes effect before that batch's predicts resolve, and two
+  // verbs in one batch cannot race each other.
+  for (auto& req : requests) {
+    if (req.valid && is_admin_cmd(req.cmd)) {
+      req.admin_rendered = admin_reply(req);
+    }
+  }
+
   // Resolve each distinct model once; the registry's single-flight path
   // already dedupes, this just avoids redundant future round-trips and
-  // gives the whole batch one coherent bundle per model.
-  std::map<std::string, std::pair<std::shared_ptr<const ModelBundle>,
+  // gives the whole batch one coherent generation per model.
+  std::map<std::string, std::pair<std::shared_ptr<const LoadedModel>,
                                   std::string>>
       resolved;
   for (const auto& req : requests) {
     if (req.valid && req.cmd == "predict") resolved.emplace(req.model,
-        std::pair<std::shared_ptr<const ModelBundle>, std::string>{});
+        std::pair<std::shared_ptr<const LoadedModel>, std::string>{});
   }
   std::vector<std::string> names;
   names.reserve(resolved.size());
@@ -228,9 +324,9 @@ std::vector<std::string> Server::handle_batch(
   for (auto& req : requests) {
     if (!req.valid || req.cmd != "predict") continue;
     auto it = resolved.find(req.model);
-    req.bundle = it->second.first;
-    req.bundle_error = it->second.second;
-    if (req.bundle == nullptr) continue;
+    req.model_ref = it->second.first;
+    req.model_error = it->second.second;
+    if (req.model_ref == nullptr) continue;
     req.coalesce_key = req.model;
     req.coalesce_key += '\0';
     req.coalesce_key += json_number(req.size);
@@ -251,7 +347,7 @@ std::vector<std::string> Server::handle_batch(
     const Request& req = *representative[i];
     const auto t0 = std::chrono::steady_clock::now();
     try {
-      slot.rec = req.bundle->predictor.predict_guarded(req.size);
+      slot.rec = req.model_ref->bundle.predictor.predict_guarded(req.size);
       slot.ok = true;
     } catch (const std::exception& e) {
       slot.error = e.what();
@@ -268,11 +364,13 @@ std::vector<std::string> Server::handle_batch(
       replies[i] = make_error_reply(req.id_json, "malformed", req.parse_error);
     } else if (req.cmd == "stats") {
       replies[i] = stats_reply();
-    } else if (req.bundle == nullptr) {
+    } else if (is_admin_cmd(req.cmd)) {
+      replies[i] = req.admin_rendered;
+    } else if (req.model_ref == nullptr) {
       replies[i] = make_error_reply(req.id_json, "model_unavailable",
-                                    req.bundle_error.empty()
+                                    req.model_error.empty()
                                         ? "model unavailable"
-                                        : req.bundle_error);
+                                        : req.model_error);
     } else {
       replies[i] = render_reply(req, computed.find(req.coalesce_key)->second);
     }

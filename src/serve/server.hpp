@@ -5,23 +5,37 @@
 //   {"cmd":"predict","model":"<name>","size":<n>,"id":<any>}   (cmd
 //     defaults to "predict" when omitted)
 //   {"cmd":"stats"}
+//   {"cmd":"reload","model":"<name>"}   force a supervised hot reload
+//   {"cmd":"pin","model":"<name>"}      freeze the current generation
+//   {"cmd":"unpin","model":"<name>"}
 //
 // A predict reply carries the guarded prediction: predicted time, the
-// per-tree interval, the confidence grade and the request's service
-// latency. Every failure — unknown model, corrupt bundle, malformed
-// JSON — degrades to an {"ok":false,"code":...,"error":...} reply on
-// that line; the server itself never dies on bad input and the cache
-// stays consistent. Batches are grouped per model (one registry
-// resolution per distinct model), identical (model, size) rows are
-// computed once per batch (coalescing), and the work is fanned across
-// the thread pool with replies emitted in input order.
+// model generation it was computed against, the per-tree interval, the
+// confidence grade and the request's service latency. Every failure —
+// unknown model, corrupt bundle, malformed JSON — degrades to an
+// {"ok":false,"code":...,"error":...} reply on that line; the server
+// itself never dies on bad input and the cache stays consistent.
+// Batches are grouped per model (one registry resolution per distinct
+// model), identical (model, size) rows are computed once per batch
+// (coalescing), and the work is fanned across the thread pool with
+// replies emitted in input order.
+//
+// Hot reload: admin verbs and the optional staleness watcher (a
+// Server-owned thread polling ModelRegistry::poll_stale every
+// reload_watch_ms) both run off the I/O thread — verbs execute on the
+// worker handling the batch, the watcher on its own thread. In-flight
+// batches pin their generation with a shared_ptr, so a promotion mid-
+// batch never tears a reply.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -36,6 +50,7 @@ namespace bf::serve {
 ///   "malformed"          — the request line was not a valid request
 ///   "model_unavailable"  — the named model could not be loaded
 ///   "predict_failed"     — the model loaded but prediction threw
+///   "reload_disabled"    — admin verb refused (--no-reload)
 ///   "shed"               — refused by admission control (net layer)
 ///   "timeout"            — abandoned by a deadline (net layer)
 std::string make_error_reply(const std::string& id_json,
@@ -47,11 +62,20 @@ struct ServerOptions {
   std::size_t cache_capacity = 8;
   /// Worker threads for batch fan-out; 0 uses the process-global pool.
   std::size_t threads = 0;
+  /// Reload supervision (canary tolerance, failure backoff).
+  ReloadPolicy reload;
+  /// Staleness watcher period; 0 disables the watcher thread (reloads
+  /// then only happen through the admin verb).
+  std::uint64_t reload_watch_ms = 0;
+  /// Master switch for the reload/pin/unpin admin verbs and the
+  /// watcher (bf_serve --no-reload clears it).
+  bool allow_reload = true;
 };
 
 class Server {
  public:
   explicit Server(const ServerOptions& options);
+  ~Server();
 
   /// Serve one request line; always returns exactly one reply line
   /// (without the trailing newline).
@@ -81,12 +105,22 @@ class Server {
   Request parse_request(const std::string& line) const;
   std::string render_reply(const Request& req, const Computed& result) const;
   std::string stats_reply() const;
+  /// Execute one reload/pin/unpin verb and render its reply.
+  std::string admin_reply(const Request& req);
+  /// Body of the staleness watcher thread.
+  void watch_loop();
 
   ModelRegistry registry_;
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;
   const NetCounters* net_ = nullptr;
   std::atomic<std::uint64_t> coalesced_{0};
+  bool allow_reload_ = true;
+  std::uint64_t watch_ms_ = 0;
+  std::mutex watch_mu_;
+  std::condition_variable watch_cv_;
+  bool stopping_ = false;
+  std::thread watcher_;
 };
 
 }  // namespace bf::serve

@@ -490,23 +490,35 @@ TEST_F(Chaos, GuardedPredictionSurvivesModelDivergence) {
 
 class ChaosServe : public Chaos {
  protected:
+  // A tiny but real predictor: the smallest reduce1 model that still
+  // exercises every serialized section. Built once per process — the
+  // reload tests re-export it with varying provenance to change the
+  // bundle checksum without retraining.
+  static const core::ProblemScalingPredictor& predictor() {
+    static const core::ProblemScalingPredictor p = [] {
+      const gpusim::Device dev(gpusim::arch_by_name("gtx580"));
+      const ml::Dataset sweep_ds = profiling::sweep(
+          profiling::workload_by_name("reduce1"), dev,
+          profiling::log2_sizes(1 << 14, 1 << 20, 8, 256));
+      core::ProblemScalingOptions pso;
+      pso.model.forest.n_trees = 30;
+      pso.arch = gpusim::arch_by_name("gtx580");
+      return core::ProblemScalingPredictor::build(sweep_ds, pso);
+    }();
+    return p;
+  }
+
+  void export_reduce1(std::size_t trained_rows = 8) const {
+    serve::export_model((dir_ / "reduce1.bfmodel").string(), "reduce1",
+                        "reduce1", "gtx580", trained_rows, predictor());
+  }
+
   void SetUp() override {
     Chaos::SetUp();
     dir_ = fs::temp_directory_path() /
            ("bf_chaos_serve_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
-    // A tiny but real bundle: the smallest reduce1 predictor that still
-    // exercises every serialized section.
-    const gpusim::Device dev(gpusim::arch_by_name("gtx580"));
-    const ml::Dataset sweep_ds = profiling::sweep(
-        profiling::workload_by_name("reduce1"), dev,
-        profiling::log2_sizes(1 << 14, 1 << 20, 8, 256));
-    core::ProblemScalingOptions pso;
-    pso.model.forest.n_trees = 30;
-    pso.arch = gpusim::arch_by_name("gtx580");
-    serve::export_model(
-        (dir_ / "reduce1.bfmodel").string(), "reduce1", "reduce1", "gtx580",
-        8, core::ProblemScalingPredictor::build(sweep_ds, pso));
+    export_reduce1();
   }
   void TearDown() override {
     fs::remove_all(dir_);
@@ -549,6 +561,9 @@ TEST_F(ChaosServe, BitrotQuarantinesBundleAndServerDegrades) {
 TEST_F(ChaosServe, TransientLoadFailureRecoversOnRetry) {
   serve::ServerOptions options;
   options.model_dir = dir_.string();
+  // Zero backoff: the immediate retry must reach the disk instead of
+  // fast-failing inside the supervision window.
+  options.reload.backoff_initial_ms = 0;
   serve::Server server(options);
 
   {
@@ -566,6 +581,78 @@ TEST_F(ChaosServe, TransientLoadFailureRecoversOnRetry) {
   EXPECT_GT(reply.find("predicted_ms")->number, 0.0);
   EXPECT_EQ(server.registry().stats().failures, 1u);
   EXPECT_EQ(server.registry().stats().loads, 2u);
+}
+
+TEST_F(ChaosServe, InjectedReloadCorruptionRollsBackAndQuarantines) {
+  serve::ServerOptions options;
+  options.model_dir = dir_.string();
+  options.reload.backoff_initial_ms = 0;
+  serve::Server server(options);
+  const auto first = serve::parse_json(
+      server.handle_line(R"({"model":"reduce1","size":65536})"));
+  ASSERT_TRUE(first.find("ok")->boolean);
+  const double baseline = first.find("predicted_ms")->number;
+
+  // A new bundle lands on disk, but its staged read is corrupted by the
+  // injected fault: the reload must roll back, quarantine the file, and
+  // keep generation 1 serving bit-identical predictions.
+  export_reduce1(9);
+  {
+    const fault::ScopedFaults faults("serve.reload.corrupt:1.0:1");
+    const auto reply = serve::parse_json(
+        server.handle_line(R"({"cmd":"reload","model":"reduce1"})"));
+    EXPECT_TRUE(reply.find("ok")->boolean);
+    EXPECT_EQ(reply.find("status")->str, "rolled_back");
+    EXPECT_EQ(reply.find("generation")->number, 1.0);
+    EXPECT_GT(fault::stats(fault::points::kServeReloadCorrupt).fired, 0u);
+  }
+  EXPECT_FALSE(fs::exists(dir_ / "reduce1.bfmodel"));
+  EXPECT_TRUE(fs::exists(dir_ / "reduce1.bfmodel.quarantined"));
+
+  const auto again = serve::parse_json(
+      server.handle_line(R"({"model":"reduce1","size":65536})"));
+  EXPECT_TRUE(again.find("ok")->boolean);
+  EXPECT_EQ(again.find("generation")->number, 1.0);
+  EXPECT_EQ(again.find("predicted_ms")->number, baseline);
+
+  const auto stats = serve::parse_json(
+      server.handle_line(R"({"cmd":"stats"})"));
+  EXPECT_EQ(stats.find("rollbacks")->number, 1.0);
+  ASSERT_EQ(stats.find("models")->array.size(), 1u);
+  EXPECT_EQ(stats.find("models")->array[0].find("rollbacks")->number, 1.0);
+}
+
+TEST_F(ChaosServe, InjectedCanaryFailureKeepsOldGenerationThenRecovers) {
+  serve::ServerOptions options;
+  options.model_dir = dir_.string();
+  options.reload.backoff_initial_ms = 0;
+  serve::Server server(options);
+  ASSERT_TRUE(serve::parse_json(
+                  server.handle_line(R"({"model":"reduce1","size":65536})"))
+                  .find("ok")
+                  ->boolean);
+
+  // The staged bundle parses fine but flunks golden-probe validation.
+  export_reduce1(9);
+  {
+    const fault::ScopedFaults faults("serve.reload.canary_fail:1.0:1");
+    const auto reply = serve::parse_json(
+        server.handle_line(R"({"cmd":"reload","model":"reduce1"})"));
+    EXPECT_EQ(reply.find("status")->str, "rolled_back");
+    EXPECT_NE(reply.find("error")->str.find("canary"), std::string::npos);
+    EXPECT_GT(fault::stats(fault::points::kServeReloadCanaryFail).fired, 0u);
+  }
+  EXPECT_TRUE(fs::exists(dir_ / "reduce1.bfmodel.quarantined"));
+  const auto pinned = serve::parse_json(
+      server.handle_line(R"({"model":"reduce1","size":65536})"));
+  EXPECT_EQ(pinned.find("generation")->number, 1.0);
+
+  // The rollback is transient: a healthy re-export promotes cleanly.
+  export_reduce1(10);
+  const auto reply = serve::parse_json(
+      server.handle_line(R"({"cmd":"reload","model":"reduce1"})"));
+  EXPECT_EQ(reply.find("status")->str, "promoted");
+  EXPECT_EQ(reply.find("generation")->number, 2.0);
 }
 
 TEST_F(ChaosServe, NetDisconnectFaultDropsOneConnectionOnly) {

@@ -1,0 +1,12 @@
+// Fixture: seeded registry-swap violations — raw model pointers held
+// across a batch boundary in the serving layer. A hot reload promotes a
+// new generation and drops the old one when its last shared_ptr pin
+// goes away; a raw pointer held meanwhile dangles.
+struct ModelBundle {
+  double predict(double size) const;
+};
+
+double serve_batch(ModelBundle* staged, double size) {  // seeded: registry-swap
+  const ModelBundle* pinned = staged;  // seeded: registry-swap
+  return pinned->predict(size);
+}

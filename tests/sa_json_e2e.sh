@@ -36,7 +36,8 @@ done
 for rule in pragma-once raw-new raw-delete no-rand float-literal \
             unchecked-parse atomic-write guarded-predict artifact-version \
             include-cycle layer-dag duplicate-include capture-escape \
-            mutable-global lock-order unused-suppression flat-predict; do
+            mutable-global lock-order unused-suppression flat-predict \
+            registry-swap; do
   grep -q "\"rule\": \"$rule\"" "$JSON" || {
     echo "seeded rule missing from JSON: $rule"; exit 1; }
 done

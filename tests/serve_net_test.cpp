@@ -475,6 +475,40 @@ TEST_F(ServeNetTest, StatsReplyCarriesNetCounters) {
   EXPECT_EQ(running.stop(), 0);
 }
 
+TEST_F(ServeNetTest, ReloadVerbOverSocketPromotesWithoutDroppingPeers) {
+  serve::Server server(server_options_);
+  RunningNetServer running(server, net_options());
+
+  // An established client observes generation 1 …
+  TestClient client = TestClient::connect_unix(socket_path());
+  ASSERT_TRUE(client.send_line(predict_line(65536, "before")));
+  std::string reply;
+  ASSERT_TRUE(client.read_line(reply));
+  EXPECT_EQ(serve::parse_json(reply).find("generation")->number, 1.0);
+
+  // … while a second connection rewrites the bundle and drives the
+  // admin reload verb over the wire.
+  serve::export_model((dir_ / "reduce1.bfmodel").string(), "reduce1",
+                      "reduce1", "gtx580", 9, trained_predictor());
+  TestClient admin = TestClient::connect_unix(socket_path());
+  ASSERT_TRUE(admin.send_line(
+      R"({"cmd":"reload","model":"reduce1","id":"swap"})"));
+  ASSERT_TRUE(admin.read_line(reply));
+  const auto swapped = serve::parse_json(reply);
+  EXPECT_TRUE(swapped.find("ok")->boolean) << reply;
+  EXPECT_EQ(swapped.find("id")->str, "swap");
+  EXPECT_EQ(swapped.find("status")->str, "promoted");
+  EXPECT_EQ(swapped.find("generation")->number, 2.0);
+
+  // The first connection survived the swap and now serves generation 2.
+  ASSERT_TRUE(client.send_line(predict_line(65536, "after")));
+  ASSERT_TRUE(client.read_line(reply));
+  const auto after = serve::parse_json(reply);
+  EXPECT_TRUE(after.find("ok")->boolean) << reply;
+  EXPECT_EQ(after.find("generation")->number, 2.0);
+  EXPECT_EQ(running.stop(), 0);
+}
+
 // ---- fault points (chaos drives these deterministically) ----
 
 TEST_F(ServeNetTest, NetDisconnectFaultDropsOnlyThatConnection) {

@@ -5,7 +5,9 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -55,6 +57,16 @@ class ServeTest : public ::testing::Test {
 
   std::string bundle_path(const std::string& name) const {
     return (dir_ / (name + serve::kBundleSuffix)).string();
+  }
+
+  // Push a bundle's mtime forward a whole second. Staleness detection
+  // compares stat snapshots, and a rewrite landing in the same kernel
+  // timestamp granule as the original (easy at test speed, impossible at
+  // deployment speed) would otherwise be invisible to the watcher.
+  void touch_future(const std::string& name) const {
+    const auto path = std::filesystem::path(bundle_path(name));
+    std::filesystem::last_write_time(
+        path, std::filesystem::last_write_time(path) + std::chrono::seconds(1));
   }
 
   void export_named(const std::string& name) const {
@@ -163,7 +175,7 @@ TEST_F(ServeTest, RegistryHitsMissesAndEviction) {
   // An evicted bundle reloads from disk; the old shared_ptr stays valid.
   registry.get("a");
   EXPECT_EQ(registry.stats().loads, 4u);
-  EXPECT_EQ(a1->meta.name, "a");
+  EXPECT_EQ(a1->bundle.meta.name, "a");
 }
 
 TEST_F(ServeTest, RegistryLRUSingleFlight) {
@@ -185,7 +197,9 @@ TEST_F(ServeTest, RegistryLRUSingleFlight) {
         const std::string name = ((t + i) % 2 == 0) ? "a" : "b";
         try {
           const auto bundle = registry.get(name);
-          if (bundle == nullptr || bundle->meta.name != name) ++failures;
+          if (bundle == nullptr || bundle->bundle.meta.name != name) {
+            ++failures;
+          }
         } catch (const std::exception&) {
           ++failures;
         }
@@ -205,7 +219,11 @@ TEST_F(ServeTest, RegistryLRUSingleFlight) {
 
 TEST_F(ServeTest, RegistryFailedLoadRetriesCleanly) {
   export_named("a");
-  serve::ModelRegistry registry(dir_.string(), 2);
+  // Zero backoff: the retry straight after the failure must not be
+  // fast-failed by the load-retry window.
+  serve::ReloadPolicy policy;
+  policy.backoff_initial_ms = 0;
+  serve::ModelRegistry registry(dir_.string(), 2, policy);
 
   {
     fault::ScopedFaults faults("serve.cache.load_fail:1.0:1");
@@ -217,8 +235,309 @@ TEST_F(ServeTest, RegistryFailedLoadRetriesCleanly) {
   EXPECT_EQ(registry.stats().failures, 1u);
   const auto bundle = registry.get("a");
   ASSERT_NE(bundle, nullptr);
-  EXPECT_EQ(bundle->meta.name, "a");
+  EXPECT_EQ(bundle->bundle.meta.name, "a");
   EXPECT_EQ(registry.stats().loads, 2u);
+}
+
+// ---- hot reload, canary validation and rollback ----
+
+TEST_F(ServeTest, ExportedBundleCarriesGoldenProbes) {
+  export_named("a");
+  const serve::BundleFile file = serve::load_bundle_file(bundle_path("a"));
+  ASSERT_EQ(file.bundle.meta.probes.size(), 5u);
+  for (const auto& probe : file.bundle.meta.probes) {
+    EXPECT_GT(probe.size, 0.0);
+    EXPECT_EQ(probe.predicted_ms,
+              trained_predictor().predict_guarded(probe.size).value);
+  }
+  // The recorded probes validate bit-for-bit against the reloaded
+  // predictor — the canary gate is exact-match on a healthy bundle.
+  std::string why;
+  EXPECT_TRUE(serve::validate_canary(file.bundle, 1e-9, &why)) << why;
+}
+
+TEST_F(ServeTest, ReloadPromotesNewGeneration) {
+  export_named("a");
+  serve::ModelRegistry registry(dir_.string(), 2);
+
+  const auto gen1 = registry.get("a");
+  ASSERT_NE(gen1, nullptr);
+  EXPECT_EQ(gen1->generation, 1u);
+
+  // Same bytes on disk: reload detects the identical checksum and keeps
+  // the resident generation.
+  const auto unchanged = registry.reload("a");
+  EXPECT_EQ(unchanged.status, serve::ReloadResult::Status::kUnchanged);
+  EXPECT_EQ(unchanged.generation, 1u);
+
+  // A genuinely different bundle (distinct provenance → distinct
+  // checksum) promotes atomically to generation 2.
+  serve::export_model(bundle_path("a"), "a", "reduce1", "gtx580", 13,
+                      trained_predictor());
+  const auto promoted = registry.reload("a");
+  EXPECT_EQ(promoted.status, serve::ReloadResult::Status::kPromoted)
+      << promoted.error;
+  EXPECT_EQ(promoted.generation, 2u);
+
+  const auto gen2 = registry.get("a");
+  ASSERT_NE(gen2, nullptr);
+  EXPECT_EQ(gen2->generation, 2u);
+  EXPECT_NE(gen2->checksum, gen1->checksum);
+  // The pre-reload pin still answers from its own, untouched generation.
+  EXPECT_EQ(gen1->generation, 1u);
+  EXPECT_EQ(gen1->bundle.predictor.predict_time(65536),
+            gen2->bundle.predictor.predict_time(65536));
+
+  const auto stats = registry.stats();
+  EXPECT_EQ(stats.reloads, 2u);
+  EXPECT_EQ(stats.promotions, 1u);
+  EXPECT_EQ(stats.rollbacks, 0u);
+}
+
+TEST_F(ServeTest, FailedReloadRollsBackAndQuarantines) {
+  export_named("a");
+  serve::ReloadPolicy policy;
+  policy.backoff_initial_ms = 0;
+  serve::ModelRegistry registry(dir_.string(), 2, policy);
+  const auto gen1 = registry.get("a");
+  ASSERT_NE(gen1, nullptr);
+
+  // Re-export (new checksum), then corrupt the staged file on disk: the
+  // reload must keep serving generation 1 and quarantine the file.
+  serve::export_model(bundle_path("a"), "a", "reduce1", "gtx580", 13,
+                      trained_predictor());
+  {
+    std::string content = *read_file(bundle_path("a"));
+    content[content.size() - 10] ^= 0x04;
+    std::ofstream(bundle_path("a"), std::ios::binary) << content;
+  }
+  const auto result = registry.reload("a");
+  EXPECT_EQ(result.status, serve::ReloadResult::Status::kRolledBack);
+  EXPECT_EQ(result.generation, 1u);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_TRUE(std::filesystem::exists(bundle_path("a") + ".quarantined"));
+
+  // The resident model is untouched and still serves.
+  const auto still = registry.get("a");
+  ASSERT_NE(still, nullptr);
+  EXPECT_EQ(still.get(), gen1.get());
+  EXPECT_EQ(registry.stats().rollbacks, 1u);
+
+  const auto models = registry.models();
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_EQ(models[0].rollbacks, 1u);
+  EXPECT_EQ(models[0].generation, 1u);
+}
+
+TEST_F(ServeTest, CanaryFailureRollsBackReload) {
+  export_named("a");
+  serve::ReloadPolicy policy;
+  policy.backoff_initial_ms = 0;
+  serve::ModelRegistry registry(dir_.string(), 2, policy);
+  const auto gen1 = registry.get("a");
+  ASSERT_NE(gen1, nullptr);
+
+  serve::export_model(bundle_path("a"), "a", "reduce1", "gtx580", 13,
+                      trained_predictor());
+  {
+    fault::ScopedFaults faults("serve.reload.canary_fail:1.0:1");
+    const auto result = registry.reload("a");
+    EXPECT_EQ(result.status, serve::ReloadResult::Status::kRolledBack);
+    EXPECT_NE(result.error.find("canary"), std::string::npos);
+  }
+  EXPECT_TRUE(std::filesystem::exists(bundle_path("a") + ".quarantined"));
+  EXPECT_EQ(registry.get("a").get(), gen1.get());
+  EXPECT_EQ(registry.stats().rollbacks, 1u);
+
+  // The quarantine consumed the bad file; a fresh export then reloads
+  // cleanly and promotes.
+  serve::export_model(bundle_path("a"), "a", "reduce1", "gtx580", 14,
+                      trained_predictor());
+  const auto result = registry.reload("a");
+  EXPECT_EQ(result.status, serve::ReloadResult::Status::kPromoted)
+      << result.error;
+  EXPECT_EQ(result.generation, 2u);
+}
+
+TEST_F(ServeTest, FailedReloadBacksOffThenRecovers) {
+  export_named("a");
+  serve::ReloadPolicy policy;
+  policy.backoff_initial_ms = 20;
+  policy.backoff_max_ms = 40;
+  serve::ModelRegistry registry(dir_.string(), 2, policy);
+  ASSERT_NE(registry.get("a"), nullptr);
+
+  serve::export_model(bundle_path("a"), "a", "reduce1", "gtx580", 13,
+                      trained_predictor());
+  {
+    fault::ScopedFaults faults("serve.reload.canary_fail:1.0:1");
+    EXPECT_EQ(registry.reload("a").status,
+              serve::ReloadResult::Status::kRolledBack);
+  }
+  // Inside the backoff window the staleness poll declines to retry …
+  EXPECT_EQ(registry.check_stale("a").status,
+            serve::ReloadResult::Status::kBackoff);
+  // … and once it expires the next poll retries. The canary-failed file
+  // was quarantined, so re-export first.
+  serve::export_model(bundle_path("a"), "a", "reduce1", "gtx580", 14,
+                      trained_predictor());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const auto result = registry.check_stale("a");
+  EXPECT_EQ(result.status, serve::ReloadResult::Status::kPromoted)
+      << result.error;
+}
+
+TEST_F(ServeTest, StalenessWatchPromotesChangedBundles) {
+  export_named("a");
+  export_named("b");
+  serve::ModelRegistry registry(dir_.string(), 4);
+  ASSERT_NE(registry.get("a"), nullptr);
+  ASSERT_NE(registry.get("b"), nullptr);
+
+  // Nothing changed: the poll reports no events.
+  EXPECT_TRUE(registry.poll_stale().empty());
+
+  // Rewrite "a" with new content; the poll notices the stat change,
+  // re-checksums and promotes only that model.
+  serve::export_model(bundle_path("a"), "a", "reduce1", "gtx580", 13,
+                      trained_predictor());
+  touch_future("a");
+  const auto events = registry.poll_stale();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].first, "a");
+  EXPECT_EQ(events[0].second.status, serve::ReloadResult::Status::kPromoted)
+      << events[0].second.error;
+  const auto a = registry.get("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->generation, 2u);
+  const auto b = registry.get("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->generation, 1u);
+}
+
+TEST_F(ServeTest, PinnedModelResistsReloadAndEviction) {
+  export_named("a");
+  export_named("b");
+  export_named("c");
+  serve::ModelRegistry registry(dir_.string(), 2);
+  ASSERT_NE(registry.get("a"), nullptr);
+  EXPECT_TRUE(registry.pin("a"));
+
+  // Pinned models are exempt from reload and staleness promotion.
+  serve::export_model(bundle_path("a"), "a", "reduce1", "gtx580", 13,
+                      trained_predictor());
+  EXPECT_EQ(registry.reload("a").status,
+            serve::ReloadResult::Status::kPinned);
+  EXPECT_EQ(registry.check_stale("a").status,
+            serve::ReloadResult::Status::kPinned);
+
+  // Capacity pressure evicts around the pin, never through it.
+  registry.get("b");
+  registry.get("c");
+  const auto resident = registry.resident();
+  EXPECT_NE(std::find(resident.begin(), resident.end(), "a"),
+            resident.end());
+
+  // Unpinning restores normal lifecycle: the stale bundle now promotes.
+  EXPECT_TRUE(registry.unpin("a"));
+  EXPECT_EQ(registry.reload("a").status,
+            serve::ReloadResult::Status::kPromoted);
+  EXPECT_FALSE(registry.pin("ghost"));  // never-seen names don't pin
+}
+
+TEST_F(ServeTest, ReloadOfNonResidentModelIsRejected) {
+  export_named("a");
+  serve::ModelRegistry registry(dir_.string(), 2);
+  EXPECT_EQ(registry.reload("a").status,
+            serve::ReloadResult::Status::kNotResident);
+  ASSERT_NE(registry.get("a"), nullptr);
+  EXPECT_EQ(registry.reload("a").status,
+            serve::ReloadResult::Status::kUnchanged);
+}
+
+TEST_F(ServeTest, GenerationSurvivesEvictionCycles) {
+  export_named("a");
+  export_named("b");
+  export_named("c");
+  serve::ModelRegistry registry(dir_.string(), 1);
+
+  // Evict "a" by rotating through a capacity-1 cache, then reload it:
+  // the generation counter is per-name and monotonic, never reset by
+  // eviction.
+  EXPECT_EQ(registry.get("a")->generation, 1u);
+  registry.get("b");
+  registry.get("c");
+  EXPECT_EQ(registry.get("a")->generation, 2u);
+  serve::export_model(bundle_path("a"), "a", "reduce1", "gtx580", 13,
+                      trained_predictor());
+  EXPECT_EQ(registry.reload("a").generation, 3u);
+}
+
+// The TSan-facing chaos test: readers pin generations and predict while
+// a writer concurrently rewrites bundles, reloads them and forces
+// eviction pressure. Every pinned generation must answer consistently;
+// no read ever observes a half-swapped model.
+TEST_F(ServeTest, ReloadUnderConcurrentPredictionsIsRaceFree) {
+  export_named("a");
+  export_named("b");
+  serve::ReloadPolicy policy;
+  policy.backoff_initial_ms = 0;
+  serve::ModelRegistry registry(dir_.string(), 1, policy);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  constexpr int kReaders = 8;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&registry, &stop, &failures, t] {
+      const std::string name = (t % 2 == 0) ? "a" : "b";
+      while (!stop.load(std::memory_order_relaxed)) {
+        try {
+          const auto pinned = registry.get(name);
+          if (pinned == nullptr) {
+            ++failures;
+            continue;
+          }
+          // Two predictions through the same pin must agree even if the
+          // registry promoted a new generation in between.
+          const double first = pinned->bundle.predictor.predict_time(65536);
+          const double again = pinned->bundle.predictor.predict_time(65536);
+          if (first != again || pinned->generation == 0) ++failures;
+        } catch (const std::exception&) {
+          ++failures;
+        }
+      }
+    });
+  }
+
+  // The writer alternates bundle rewrites with explicit reloads while
+  // the capacity-1 cache forces constant eviction churn underneath.
+  for (int round = 0; round < 20; ++round) {
+    const std::string name = (round % 2 == 0) ? "a" : "b";
+    serve::export_model(bundle_path(name), name, "reduce1", "gtx580",
+                        static_cast<std::size_t>(20 + round),
+                        trained_predictor());
+    try {
+      registry.reload(name);
+    } catch (const std::exception&) {
+      ++failures;
+    }
+    registry.poll_stale();
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Deterministic tail: with the churn finished, a fresh promote cycle
+  // must still work (the mid-churn reloads may all have found their
+  // model evicted by the capacity-1 pressure).
+  ASSERT_NE(registry.get("a"), nullptr);
+  serve::export_model(bundle_path("a"), "a", "reduce1", "gtx580", 99,
+                      trained_predictor());
+  EXPECT_EQ(registry.reload("a").status,
+            serve::ReloadResult::Status::kPromoted);
+  EXPECT_GT(registry.stats().promotions, 0u);
 }
 
 // ---- the request broker ----
@@ -377,6 +696,118 @@ TEST_F(ServeTest, ServerRepliesCarryStableErrorCodes) {
   const auto ghost = serve::parse_json(
       server.handle_line(R"({"model":"ghost","size":64})"));
   EXPECT_EQ(ghost.find("code")->str, "model_unavailable");
+}
+
+// ---- admin verbs: reload / pin / unpin over the protocol ----
+
+TEST_F(ServeTest, ServerAdminVerbsDriveReloadLifecycle) {
+  export_named("reduce1");
+  serve::ServerOptions options;
+  options.model_dir = dir_.string();
+  serve::Server server(options);
+
+  // Load generation 1 and confirm predictions carry the generation.
+  const auto first = serve::parse_json(
+      server.handle_line(R"({"model":"reduce1","size":65536})"));
+  EXPECT_TRUE(first.find("ok")->boolean);
+  EXPECT_EQ(first.find("generation")->number, 1.0);
+
+  // Reloading the unchanged file is a no-op.
+  const auto unchanged = serve::parse_json(server.handle_line(
+      R"({"cmd":"reload","model":"reduce1","id":7})"));
+  EXPECT_TRUE(unchanged.find("ok")->boolean);
+  EXPECT_EQ(unchanged.find("id")->number, 7.0);
+  EXPECT_EQ(unchanged.find("status")->str, "unchanged");
+  EXPECT_EQ(unchanged.find("generation")->number, 1.0);
+
+  // Swap the bundle on disk and reload: generation 2 is promoted and
+  // subsequent predictions report it.
+  serve::export_model(bundle_path("reduce1"), "reduce1", "reduce1", "gtx580",
+                      13, trained_predictor());
+  const auto promoted = serve::parse_json(server.handle_line(
+      R"({"cmd":"reload","model":"reduce1"})"));
+  EXPECT_EQ(promoted.find("status")->str, "promoted");
+  EXPECT_EQ(promoted.find("generation")->number, 2.0);
+  const auto second = serve::parse_json(
+      server.handle_line(R"({"model":"reduce1","size":65536})"));
+  EXPECT_EQ(second.find("generation")->number, 2.0);
+
+  // Pin freezes the generation against further reloads; unpin restores.
+  const auto pinned = serve::parse_json(server.handle_line(
+      R"({"cmd":"pin","model":"reduce1"})"));
+  EXPECT_TRUE(pinned.find("ok")->boolean);
+  EXPECT_TRUE(pinned.find("resident")->boolean);
+  const auto refused = serve::parse_json(server.handle_line(
+      R"({"cmd":"reload","model":"reduce1"})"));
+  EXPECT_EQ(refused.find("status")->str, "pinned");
+  const auto unpinned = serve::parse_json(server.handle_line(
+      R"({"cmd":"unpin","model":"reduce1"})"));
+  EXPECT_TRUE(unpinned.find("resident")->boolean);
+
+  // The stats surface exposes the full per-model identity row.
+  const auto stats = serve::parse_json(server.handle_line(
+      R"({"cmd":"stats"})"));
+  EXPECT_EQ(stats.find("reloads")->number, 3.0);
+  EXPECT_EQ(stats.find("promotions")->number, 1.0);
+  EXPECT_EQ(stats.find("rollbacks")->number, 0.0);
+  ASSERT_EQ(stats.find("models")->array.size(), 1u);
+  const auto& row = stats.find("models")->array[0];
+  EXPECT_EQ(row.find("name")->str, "reduce1");
+  EXPECT_EQ(row.find("generation")->number, 2.0);
+  EXPECT_EQ(row.find("checksum")->str.size(), 16u);
+  EXPECT_FALSE(row.find("loaded_at")->str.empty());
+  EXPECT_EQ(row.find("rollbacks")->number, 0.0);
+  EXPECT_FALSE(row.find("pinned")->boolean);
+}
+
+TEST_F(ServeTest, ReloadVerbsRejectedWhenDisabled) {
+  export_named("reduce1");
+  serve::ServerOptions options;
+  options.model_dir = dir_.string();
+  options.allow_reload = false;
+  serve::Server server(options);
+
+  for (const char* line : {R"({"cmd":"reload","model":"reduce1"})",
+                           R"({"cmd":"pin","model":"reduce1"})",
+                           R"({"cmd":"unpin","model":"reduce1"})"}) {
+    const auto reply = serve::parse_json(server.handle_line(line));
+    EXPECT_FALSE(reply.find("ok")->boolean) << line;
+    EXPECT_EQ(reply.find("code")->str, "reload_disabled") << line;
+  }
+  // Prediction traffic is unaffected by the admin lockout.
+  const auto predict = serve::parse_json(
+      server.handle_line(R"({"model":"reduce1","size":65536})"));
+  EXPECT_TRUE(predict.find("ok")->boolean);
+}
+
+TEST_F(ServeTest, WatcherPromotesChangedBundleUnderLoad) {
+  export_named("reduce1");
+  serve::ServerOptions options;
+  options.model_dir = dir_.string();
+  options.reload_watch_ms = 10;
+  serve::Server server(options);
+  ASSERT_TRUE(serve::parse_json(
+                  server.handle_line(R"({"model":"reduce1","size":65536})"))
+                  .find("ok")
+                  ->boolean);
+
+  // Rewrite the bundle behind the server's back; the watcher thread must
+  // notice and promote without any admin verb.
+  serve::export_model(bundle_path("reduce1"), "reduce1", "reduce1", "gtx580",
+                      13, trained_predictor());
+  touch_future("reduce1");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  double generation = 1.0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto reply = serve::parse_json(
+        server.handle_line(R"({"model":"reduce1","size":65536})"));
+    ASSERT_TRUE(reply.find("ok")->boolean);
+    generation = reply.find("generation")->number;
+    if (generation == 2.0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(generation, 2.0);
 }
 
 // ---- per-batch coalescing ----

@@ -64,6 +64,9 @@ void usage() {
       "  --export-model P  train the problem-scaling predictor and write\n"
       "                    it as a .bfmodel bundle to P (serve it later\n"
       "                    with bf_serve or --from-model)\n"
+      "  --probes N        golden canary probes recorded into the bundle\n"
+      "                    for hot-reload validation (default 5; 0 omits\n"
+      "                    the record)\n"
       "  --from-model P    skip sweeping/training: load the bundle at P\n"
       "                    and answer --predict queries from it\n"
       "  --list            list workloads and architectures\n"
@@ -89,6 +92,7 @@ struct Args {
   bool no_guard = false;
   std::string guard_json;
   std::string export_model;
+  int probes = 5;
   std::string from_model;
   bool list = false;
   bool check = false;
@@ -138,6 +142,9 @@ Args parse(int argc, char** argv) {
       args.repo = next();
     } else if (a == "--export-model") {
       args.export_model = next();
+    } else if (a == "--probes") {
+      args.probes = static_cast<int>(parse_int(next()));
+      BF_CHECK_MSG(args.probes >= 0, "--probes must be >= 0");
     } else if (a == "--from-model") {
       args.from_model = next();
     } else if (a == "--list") {
@@ -358,7 +365,8 @@ int main(int argc, char** argv) {
           core::ProblemScalingPredictor::build(outcome.data, pso);
       if (!args.export_model.empty()) {
         serve::export_model(args.export_model, args.workload, args.workload,
-                            args.arch, outcome.data.num_rows(), predictor);
+                            args.arch, outcome.data.num_rows(), predictor,
+                            static_cast<std::size_t>(args.probes));
         std::printf("model bundle written to %s\n",
                     args.export_model.c_str());
         if (args.predict.empty()) return 0;

@@ -70,6 +70,15 @@ void usage() {
       "                    (default 0)\n"
       "  --timeout-ms N    per-reply client timeout (default 10000)\n"
       "  --seed N          RNG seed for sizes (default 1)\n"
+      "  --oneshot LINE    send one request line, print the reply, exit\n"
+      "                    (exit 0 iff the reply says \"ok\":true);\n"
+      "                    admin-verb helper for reload e2e harnesses\n"
+      "  --reload-churn N  rewrite the --churn-file bundle every N ms\n"
+      "                    while the measured load runs (hot-reload churn;\n"
+      "                    0 = off)\n"
+      "  --churn-file P    bundle path the churn thread rewrites\n"
+      "  --churn-src A,B   alternate source bundles cycled into\n"
+      "                    --churn-file (default: rewrite its own bytes)\n"
       "  --out FILE        report path (default BENCH_serve.json)\n"
       "  --stats-out FILE  after the run, fetch {\"cmd\":\"stats\"} over a\n"
       "                    fresh connection and write the reply to FILE\n"
@@ -94,6 +103,10 @@ struct Args {
   std::uint64_t seed = 1;
   std::string out_path = "BENCH_serve.json";
   std::string stats_out_path;
+  std::string oneshot;
+  std::size_t reload_churn_ms = 0;
+  std::string churn_file;
+  std::vector<std::string> churn_src;
 };
 
 Args parse(int argc, char** argv) {
@@ -141,6 +154,14 @@ Args parse(int argc, char** argv) {
       args.out_path = next();
     } else if (a == "--stats-out") {
       args.stats_out_path = next();
+    } else if (a == "--oneshot") {
+      args.oneshot = next();
+    } else if (a == "--reload-churn") {
+      args.reload_churn_ms = static_cast<std::size_t>(parse_int(next()));
+    } else if (a == "--churn-file") {
+      args.churn_file = next();
+    } else if (a == "--churn-src") {
+      args.churn_src = split(next(), ',');
     } else if (a == "--version") {
       std::printf("%s\n", bf::version_string().c_str());
       std::exit(0);
@@ -306,6 +327,19 @@ int main(int argc, char** argv) {
   try {
     const Args args = parse(argc, argv);
 
+    // One-shot mode: a single request/reply round-trip over a fresh
+    // connection — the e2e harness's admin-verb and spot-check client.
+    if (!args.oneshot.empty()) {
+      Client client(connect_target(args));
+      BF_CHECK_MSG(client.send_all(args.oneshot + "\n"),
+                   "oneshot send failed");
+      std::string reply;
+      BF_CHECK_MSG(client.read_line(reply, args.timeout_ms),
+                   "oneshot reply timed out");
+      std::printf("%s\n", reply.c_str());
+      return reply.find("\"ok\":true") != std::string::npos ? 0 : 1;
+    }
+
     // Build the request trace up front so pacing measures the server,
     // not request synthesis.
     std::vector<std::string> trace;
@@ -338,6 +372,46 @@ int main(int argc, char** argv) {
     latencies_ms.reserve(total);
     std::atomic<std::uint64_t> slow_ok{0};
     std::atomic<std::uint64_t> disconnects_done{0};
+
+    // Reload churn: rewrite the target bundle on a timer while the
+    // measured load runs, driving the server's staleness watcher. With
+    // --churn-src the rewrites alternate real exports (checksum changes
+    // -> promotions); without it the file's own bytes are rewritten
+    // (mtime changes, checksum does not -> cheap unchanged polls).
+    std::atomic<bool> churn_stop{false};
+    std::atomic<std::uint64_t> churns{0};
+    std::thread churn_thread;
+    if (args.reload_churn_ms > 0) {
+      BF_CHECK_MSG(!args.churn_file.empty(),
+                   "--reload-churn needs --churn-file PATH");
+      std::vector<std::string> variants;
+      for (const auto& src : args.churn_src) {
+        const auto text = bf::read_file(src);
+        BF_CHECK_MSG(text.has_value(), "cannot read churn source " << src);
+        variants.push_back(*text);
+      }
+      if (variants.empty()) {
+        const auto text = bf::read_file(args.churn_file);
+        BF_CHECK_MSG(text.has_value(),
+                     "cannot read churn file " << args.churn_file);
+        variants.push_back(*text);
+      }
+      // Joined before every capture dies (see below), hence the audit.
+      churn_thread = std::thread([&, variants] {  // bf-lint: allow(capture-escape)
+        std::size_t i = 0;
+        while (!churn_stop.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(args.reload_churn_ms));
+          try {
+            bf::atomic_write_file(args.churn_file,
+                                  variants[i++ % variants.size()]);
+            churns.fetch_add(1, std::memory_order_relaxed);
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "bf_loadgen: churn: %s\n", e.what());
+          }
+        }
+      });
+    }
 
     const auto t_start = Clock::now();
     const auto send_time = [&](std::size_t k) {
@@ -421,6 +495,8 @@ int main(int argc, char** argv) {
     }
 
     for (auto& t : threads) t.join();
+    churn_stop.store(true, std::memory_order_relaxed);
+    if (churn_thread.joinable()) churn_thread.join();
     const double duration_ms =
         std::chrono::duration<double, std::milli>(Clock::now() - t_start)
             .count();
@@ -436,6 +512,10 @@ int main(int argc, char** argv) {
     const double shed_fraction =
         answered > 0 ? static_cast<double>(shed) / static_cast<double>(answered)
                      : 0.0;
+    const double error_fraction =
+        answered > 0
+            ? static_cast<double>(errors) / static_cast<double>(answered)
+            : 0.0;
 
     std::ostringstream os;
     os << "{\"bench\":\"serve\",\"schema_version\":1,\"target\":\""
@@ -447,12 +527,15 @@ int main(int argc, char** argv) {
        << ",\"shed\":" << shed << ",\"errors\":" << errors
        << ",\"no_reply\":" << no_reply
        << ",\"shed_fraction\":" << shed_fraction
+       << ",\"error_fraction\":" << error_fraction
        << ",\"duration_ms\":" << duration_ms
        << ",\"qps_achieved\":" << qps_achieved << ",\"latency_ms\":"
        << percentile_block(latencies_ms) << ",\"chaos\":{\"slow_clients\":"
        << args.slow << ",\"slow_ok\":" << slow_ok.load()
        << ",\"disconnect_clients\":" << args.disconnect
-       << ",\"disconnects_done\":" << disconnects_done.load() << "}}\n";
+       << ",\"disconnects_done\":" << disconnects_done.load()
+       << "},\"churn\":{\"period_ms\":" << args.reload_churn_ms
+       << ",\"churns\":" << churns.load() << "}}\n";
     bf::atomic_write_file(args.out_path, os.str());
     std::printf("%s", os.str().c_str());
 

@@ -66,6 +66,12 @@ void usage() {
       "                    SIGTERM/SIGINT (default 5000)\n"
       "  --net-workers N   threads running request batches for the\n"
       "                    socket listeners (default 2)\n"
+      "  --reload-watch-ms N  poll resident bundles for on-disk changes\n"
+      "                    every N ms and hot-reload them (canary-\n"
+      "                    validated, atomic promotion; default 1000,\n"
+      "                    0 disables the watcher)\n"
+      "  --no-reload       disable hot reload entirely: no watcher and\n"
+      "                    the reload/pin/unpin admin verbs are refused\n"
       "  --once            exit after the first socket connection closes\n"
       "  --batch           read all of stdin before answering, grouping\n"
       "                    requests per model and fanning across the\n"
@@ -92,6 +98,9 @@ struct Args {
 
 Args parse(int argc, char** argv) {
   Args args;
+  // CLI default: watch for bundle changes once a second. ServerOptions
+  // itself defaults to 0 (off) so embedded/test servers opt in.
+  args.server.reload_watch_ms = 1000;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     const auto next = [&]() -> const char* {
@@ -131,6 +140,11 @@ Args parse(int argc, char** argv) {
       args.net.drain_ms = static_cast<int>(parse_int(next()));
     } else if (a == "--net-workers") {
       args.net.workers = static_cast<std::size_t>(parse_int(next()));
+    } else if (a == "--reload-watch-ms") {
+      args.server.reload_watch_ms =
+          static_cast<std::uint64_t>(parse_int(next()));
+    } else if (a == "--no-reload") {
+      args.server.allow_reload = false;
     } else if (a == "--once") {
       args.net.once = true;
     } else if (a == "--batch") {
