@@ -299,6 +299,24 @@ std::vector<Rule> build_rules() {
       "combined DRAM throughput cannot exceed the board's memory "
       "bandwidth (the engine's roofline)"));
 
+  // ---- board power envelope (bf::power labels) ----
+  rules.push_back(rule(
+      "power_ge_idle", c("power_avg_w"), Relation::kGe,
+      arch_const("idle_w", [](const ArchSpec& a) { return a.idle_w; }),
+      "estimated board power can never dip below the arch's idle floor"));
+  rules.push_back(rule(
+      "power_le_tdp", c("power_avg_w"), Relation::kLe,
+      arch_const("tdp_w", [](const ArchSpec& a) { return a.tdp_w; }),
+      "estimated board power can never exceed the board's TDP"));
+  // energy_j and power_total_w are validation-only mirrors the profiler
+  // adds from one estimate_power call (absent in stored sweeps, so the
+  // rule is skipped there); a ms-vs-s slip in the energy field would
+  // miss by 1000x.
+  rules.push_back(rule(
+      "energy_eq_power_time", c("energy_j"), Relation::kEq,
+      mul(c("power_total_w"), mul(c("time_ms"), lit(0.001))),
+      "energy must equal average board power times elapsed time"));
+
   return rules;
 }
 

@@ -47,6 +47,9 @@ inline constexpr const char* kProfilerCounterDropout =
     "profiler.counter_dropout";
 /// Measured time of a replicate spikes (background interference).
 inline constexpr const char* kProfilerNoiseSpike = "profiler.noise_spike";
+/// The derived power label of a replicate is wildly inflated (power-rail
+/// sensor glitch); the replicate aggregation must reject it.
+inline constexpr const char* kPowerLabelSpike = "power.label.spike";
 /// A repository entry is truncated on disk after the write (torn write).
 inline constexpr const char* kRepoTornWrite = "repo.torn_write";
 /// A repository entry has one byte flipped on disk (bit rot).

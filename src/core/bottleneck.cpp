@@ -7,7 +7,6 @@
 
 #include "common/string_util.hpp"
 #include "ml/metrics.hpp"
-#include "profiling/sweep.hpp"
 
 namespace bf::core {
 
@@ -130,8 +129,10 @@ BottleneckReport analyze_bottlenecks(const BlackForestModel& model,
   report.arch = arch;
   report.pct_var_explained = model.pct_var_explained();
 
+  // Correlations are taken against whatever the model's response is —
+  // "time_ms" for the classic path, "power_avg_w" for bf::power.
   const auto importance = model.importance();
-  const auto& y = model.train_data().column(profiling::kTimeColumn);
+  const auto& y = model.train_data().column(model.response());
   std::map<Pattern, double> pattern_mass;
 
   for (std::size_t i = 0; i < importance.size() && i < options.top_k; ++i) {

@@ -7,16 +7,16 @@
 #include "common/error.hpp"
 #include "common/io.hpp"
 #include "ml/metrics.hpp"
-#include "profiling/sweep.hpp"
 
 namespace bf::core {
 namespace {
 
 std::vector<std::string> predictor_columns(
-    const ml::Dataset& ds, const std::vector<std::string>& exclude) {
+    const ml::Dataset& ds, const std::string& response,
+    const std::vector<std::string>& exclude) {
   std::vector<std::string> out;
   for (const auto& name : ds.column_names()) {
-    if (name == profiling::kTimeColumn) continue;
+    if (name == response) continue;
     if (std::find(exclude.begin(), exclude.end(), name) != exclude.end()) {
       continue;
     }
@@ -30,9 +30,9 @@ std::vector<std::string> predictor_columns(
 
 BlackForestModel BlackForestModel::fit(const ml::Dataset& ds,
                                        const ModelOptions& options) {
-  BF_CHECK_MSG(ds.has_column(profiling::kTimeColumn),
+  BF_CHECK_MSG(ds.has_column(options.response),
                "dataset lacks the response column '"
-                   << profiling::kTimeColumn << "'");
+                   << options.response << "'");
   BlackForestModel model;
   model.options_ = options;
 
@@ -40,7 +40,7 @@ BlackForestModel BlackForestModel::fit(const ml::Dataset& ds,
   // permutation importance.
   ml::Dataset clean = ds;
   clean.drop_constant_columns();
-  BF_CHECK_MSG(clean.has_column(profiling::kTimeColumn),
+  BF_CHECK_MSG(clean.has_column(options.response),
                "response column is constant — nothing to model");
 
   Rng rng(options.seed);
@@ -48,11 +48,11 @@ BlackForestModel BlackForestModel::fit(const ml::Dataset& ds,
       ml::train_test_split(clean, options.test_fraction, rng);
   model.train_ = std::move(split.train);
   model.test_ = std::move(split.test);
-  model.predictors_ = predictor_columns(model.train_, options.exclude);
+  model.predictors_ =
+      predictor_columns(model.train_, options.response, options.exclude);
 
   const linalg::Matrix x = model.train_.to_matrix(model.predictors_);
-  const std::vector<double>& y =
-      model.train_.column(profiling::kTimeColumn);
+  const std::vector<double>& y = model.train_.column(options.response);
   ml::ForestParams params = options.forest;
   if (params.seed == ml::ForestParams{}.seed) params.seed = options.seed;
   model.forest_.fit(x, y, model.predictors_, params);
@@ -62,7 +62,7 @@ BlackForestModel BlackForestModel::fit(const ml::Dataset& ds,
     const linalg::Matrix tx = model.test_.to_matrix(model.predictors_);
     const std::vector<double> pred = model.flat_.predict(tx);
     const std::vector<double>& truth =
-        model.test_.column(profiling::kTimeColumn);
+        model.test_.column(options.response);
     model.test_mse_ = ml::mse(truth, pred);
     model.test_explained_var_ = ml::explained_variance(truth, pred);
   }
@@ -79,8 +79,7 @@ BlackForestModel BlackForestModel::refit_with(
   model.predictors_ = predictors;
 
   const linalg::Matrix x = model.train_.to_matrix(predictors);
-  const std::vector<double>& y =
-      model.train_.column(profiling::kTimeColumn);
+  const std::vector<double>& y = model.train_.column(options_.response);
   ml::ForestParams params = options_.forest;
   if (params.seed == ml::ForestParams{}.seed) params.seed = options_.seed;
   model.forest_.fit(x, y, predictors, params);
@@ -90,7 +89,7 @@ BlackForestModel BlackForestModel::refit_with(
     const linalg::Matrix tx = model.test_.to_matrix(predictors);
     const std::vector<double> pred = model.flat_.predict(tx);
     const std::vector<double>& truth =
-        model.test_.column(profiling::kTimeColumn);
+        model.test_.column(options_.response);
     model.test_mse_ = ml::mse(truth, pred);
     model.test_explained_var_ = ml::explained_variance(truth, pred);
   }

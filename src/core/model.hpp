@@ -3,9 +3,10 @@
 // variable-importance analysis.
 //
 // The dataset convention follows bf::profiling::sweep: every column except
-// "time_ms" is a predictor (counters, the problem characteristic "size",
-// and — for hardware scaling — the Table 2 machine characteristics);
-// "time_ms" is the response.
+// the response is a predictor (counters, the problem characteristic
+// "size", and — for hardware scaling — the Table 2 machine
+// characteristics). The response defaults to "time_ms"; bf::power refits
+// the same machinery with "power_avg_w" as the response.
 #pragma once
 
 #include <iosfwd>
@@ -24,6 +25,9 @@ struct ModelOptions {
   ml::ForestParams forest;
   /// Predictor columns to exclude (besides the response).
   std::vector<std::string> exclude;
+  /// Response column (profiling::kTimeColumn unless a second response
+  /// variable — e.g. profiling::kPowerColumn — is being modelled).
+  std::string response = "time_ms";
   std::uint64_t seed = 7;
 };
 
@@ -48,6 +52,10 @@ class BlackForestModel {
   /// The frozen flat inference engine (always fitted on a usable model).
   const ml::FlatForest& flat() const { return flat_; }
   const std::vector<std::string>& predictors() const { return predictors_; }
+  /// Name of the response column this model was fitted against
+  /// ("time_ms" on models loaded from a bundle record, which carry no
+  /// training data).
+  const std::string& response() const { return options_.response; }
   const ml::Dataset& train_data() const { return train_; }
   const ml::Dataset& test_data() const { return test_; }
 

@@ -66,6 +66,12 @@ struct AnalysisOutcome {
   /// Model-health report of the prediction stage (disabled/empty until a
   /// predictor runs; bf_analyze --predict fills it).
   bf::guard::GuardReport guard;
+  /// Second-response analysis (bf::power): the energy-bottleneck report
+  /// ranked over the power response. core never fills these — the power
+  /// layer does when power analysis is enabled, so the time-only
+  /// pipeline is untouched.
+  bool power_enabled = false;
+  BottleneckReport energy_report;
   /// Human-readable degradation warnings accumulated across stages.
   std::vector<std::string> warnings;
 };

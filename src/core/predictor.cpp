@@ -88,6 +88,7 @@ guard::PredictionGuardRecord grade_forest_row(
 ProblemScalingPredictor ProblemScalingPredictor::build(
     const ml::Dataset& sweep, const ProblemScalingOptions& options) {
   ProblemScalingPredictor p;
+  p.response_ = options.model.response;
   p.full_ = BlackForestModel::fit(sweep, options.model);
 
   // Retain the top-k variables; "size" rides along so the counter models
@@ -234,9 +235,13 @@ guard::PredictionGuardRecord ProblemScalingPredictor::predict_guarded(
       reduced_.predict_interval(xm.row_ptr(0), 0.1, forest_scratch);
   rec.raw_value = iv.mean;
 
-  // 5. Time-dependent caps need the predicted time itself; when one
-  //    fires, re-query the forest with the capped counters.
-  if (arch_ && std::isfinite(iv.mean) && iv.mean > 0.0) {
+  // 5. Response-dependent caps. For the time response the predicted
+  //    time bounds the counters (bandwidth x time, issue rate x time);
+  //    when one fires, re-query the forest with the capped counters.
+  //    For the power response the prediction itself is bounded by the
+  //    board's physical envelope [idle_w, tdp_w].
+  if (arch_ && response_ == profiling::kTimeColumn &&
+      std::isfinite(iv.mean) && iv.mean > 0.0) {
     const auto tcaps = guard::time_caps(*arch_, iv.mean);
     const auto tev =
         guard::clamp_row_to_caps(features, 0, tcaps, guard_.cap_tolerance);
@@ -244,6 +249,16 @@ guard::PredictionGuardRecord ProblemScalingPredictor::predict_guarded(
       for (const auto& ev : tev) rec.clamps.push_back(format_clamp(ev));
       xm = features.to_matrix(reduced_.predictors());
       iv = reduced_.predict_interval(xm.row_ptr(0), 0.1, forest_scratch);
+    }
+  } else if (arch_ && response_ == profiling::kPowerColumn) {
+    std::vector<guard::ClampEvent> pev;
+    const double capped = guard::clamp_power_to_envelope(
+        *arch_, iv.mean, guard_.cap_tolerance, pev);
+    if (!pev.empty()) {
+      for (const auto& ev : pev) rec.clamps.push_back(format_clamp(ev));
+      iv.mean = capped;
+      iv.lo = std::clamp(iv.lo, arch_->idle_w, arch_->tdp_w);
+      iv.hi = std::clamp(iv.hi, arch_->idle_w, arch_->tdp_w);
     }
   }
 
@@ -307,7 +322,15 @@ PredictionSeries ProblemScalingPredictor::validate(
 
 void ProblemScalingPredictor::save(std::ostream& os) const {
   os.precision(17);
-  os << "bf_psp 1\n";
+  // Version 2 only adds the response record; predictors of the classic
+  // time response keep writing version 1, so every byte of a no-power
+  // export is identical to what the pre-power writer produced.
+  if (response_ == profiling::kTimeColumn) {
+    os << "bf_psp 1\n";
+  } else {
+    os << "bf_psp 2\n";
+    os << "response " << response_ << "\n";
+  }
   // The architecture is stored by name and re-resolved from the compiled
   // registry on load: physical caps derive from the spec, so name-based
   // lookup keeps capped predictions identical across export/reload.
@@ -327,10 +350,14 @@ void ProblemScalingPredictor::save(std::ostream& os) const {
 }
 
 ProblemScalingPredictor ProblemScalingPredictor::load(std::istream& is) {
-  const int format_version = read_format_version(is, "bf_psp", 1);
-  (void)format_version;
+  const int format_version = read_format_version(is, "bf_psp", 2);
   ProblemScalingPredictor p;
   std::string tag;
+  if (format_version >= 2) {
+    BF_CHECK_MSG(
+        static_cast<bool>(is >> tag >> p.response_) && tag == "response",
+        "bf_psp: malformed response record");
+  }
   std::string arch_name;
   BF_CHECK_MSG(static_cast<bool>(is >> tag >> arch_name) && tag == "arch",
                "bf_psp: malformed arch record");

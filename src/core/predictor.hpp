@@ -37,6 +37,14 @@ struct PredictionSeries {
   double median_abs_pct_error = 0.0;
   /// Model-health self-description (empty/disabled on the legacy path).
   bf::guard::GuardReport guard;
+  /// Second-response rows filled by bf::power when power analysis is on:
+  /// predicted average board power and derived energy per size (empty
+  /// otherwise, so the time-only rendering is unchanged).
+  std::vector<double> power_w;
+  std::vector<double> energy_j;
+  /// Per-size power guard records (grades, TDP clamps); parallel to
+  /// power_w when present.
+  std::vector<bf::guard::PredictionGuardRecord> power_guard;
 };
 
 // ---- Problem scaling ----
@@ -68,9 +76,14 @@ class ProblemScalingPredictor {
                                        const ProblemScalingOptions& options =
                                            {});
 
-  /// Predict the execution time for one unseen problem size (legacy
-  /// unguarded path; see predict_guarded for the supervised one).
+  /// Predict the response for one unseen problem size (legacy unguarded
+  /// path; see predict_guarded for the supervised one). Named for the
+  /// classic time response; a predictor built with another response
+  /// column (e.g. profiling::kPowerColumn) returns that response.
   double predict_time(double size) const;
+
+  /// Response column this predictor models ("time_ms" by default).
+  const std::string& response() const { return response_; }
 
   /// Guarded prediction: hull check, counter-chain demotion, physical
   /// caps, per-tree interval and confidence grade. With no guard tripped
@@ -105,6 +118,7 @@ class ProblemScalingPredictor {
   BlackForestModel reduced_;
   CounterModels counters_;
   std::vector<std::string> retained_;
+  std::string response_ = "time_ms";  ///< profiling::kTimeColumn
   bf::guard::DomainGuard hull_;
   bf::guard::GuardOptions guard_;
   std::optional<gpusim::ArchSpec> arch_;

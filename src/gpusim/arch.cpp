@@ -28,6 +28,8 @@ ArchSpec gtx580() {
   a.mem_bandwidth_gbs = 192.4;
   a.max_registers_per_thread = 63;
   a.l2_size_kb = 768;
+  a.idle_w = 45.0;
+  a.tdp_w = 244.0;  // GTX 580 board power limit
   a.dispatch_units_per_scheduler = 1;
   a.max_warps_per_sm = 48;
   a.max_blocks_per_sm = 8;
@@ -48,6 +50,7 @@ ArchSpec gtx480() {
   a.clock_ghz = 1.4;
   a.sm_count = 15;
   a.mem_bandwidth_gbs = 177.4;
+  a.tdp_w = 250.0;  // GF100 runs hotter than GF110
   return a;
 }
 
@@ -62,6 +65,8 @@ ArchSpec kepler_k20m() {
   a.mem_bandwidth_gbs = 208.0;
   a.max_registers_per_thread = 255;
   a.l2_size_kb = 1280;
+  a.idle_w = 40.0;
+  a.tdp_w = 225.0;  // K20m board power limit
   a.dispatch_units_per_scheduler = 2;
   a.max_warps_per_sm = 64;
   a.max_blocks_per_sm = 16;
@@ -85,6 +90,7 @@ ArchSpec kepler_k40() {
   a.sm_count = 15;
   a.mem_bandwidth_gbs = 288.0;
   a.l2_size_kb = 1536;
+  a.tdp_w = 235.0;  // K40 board power limit
   return a;
 }
 

@@ -39,6 +39,13 @@ struct ArchSpec {
   int shared_banks = 32;
   int shared_bank_width_bytes = 4;
 
+  // ---- Board power envelope ----
+  /// Idle board power (W): the floor of any estimated or predicted
+  /// average power, and the constant term of gpusim::estimate_power.
+  double idle_w = 45.0;
+  /// Board TDP (W): the physical ceiling the power guard clamps to.
+  double tdp_w = 244.0;
+
   int l1_size_kb = 16;
   int l1_line_bytes = 128;
   int l1_assoc = 4;

@@ -9,9 +9,11 @@ PowerBreakdown estimate_power(const ArchSpec& arch, const CounterSet& counters,
   PowerBreakdown out;
   const double time_s = std::max(time_ms, 1e-9) * 1e-3;
 
-  // Generation-dependent baseline and per-activity coefficients.
+  // Per-activity coefficients are generation-dependent; the idle floor
+  // comes from the arch spec so the guard layer and the label model
+  // agree on the same envelope.
   const bool fermi = arch.generation == Generation::kFermi;
-  out.idle_w = fermi ? 45.0 : 40.0;
+  out.idle_w = arch.idle_w;
   const double w_per_issue_ghz = fermi ? 55.0 : 38.0;  // W at 1 inst/cycle/SM
   const double nj_per_dram_byte = fermi ? 0.30 : 0.22;
   const double nj_per_l2_byte = fermi ? 0.08 : 0.06;
@@ -47,8 +49,13 @@ PowerBreakdown estimate_power(const ArchSpec& arch, const CounterSet& counters,
                                  counters.get(Event::kSharedBankConflict);
   out.shared_w = shared_accesses * nj_per_shared_access * 1e-9 / time_s;
 
-  out.total_w =
+  // Boards enforce their power limit: sustained draw above TDP throttles
+  // clocks, so the *average* power over a launch saturates at tdp_w. The
+  // component fields keep the unthrottled demand so the breakdown still
+  // attributes where the watts would go.
+  const double demand_w =
       out.idle_w + out.core_w + out.dram_w + out.l2_w + out.shared_w;
+  out.total_w = arch.tdp_w > 0.0 ? std::min(demand_w, arch.tdp_w) : demand_w;
   out.energy_j = out.total_w * time_s;
   return out;
 }

@@ -21,6 +21,9 @@ struct PowerBreakdown {
   double dram_w = 0.0;
   double l2_w = 0.0;
   double shared_w = 0.0;
+  /// Average board power: idle + component demand, saturated at the
+  /// board's TDP (the power limit real boards enforce by throttling).
+  /// Components keep the unthrottled demand, so total_w <= their sum.
   double total_w = 0.0;
   double energy_j = 0.0;  ///< total power times elapsed time
 };

@@ -91,4 +91,24 @@ std::vector<ClampEvent> clamp_row_to_caps(
   return events;
 }
 
+double clamp_power_to_envelope(const gpusim::ArchSpec& arch, double watts,
+                               double tolerance,
+                               std::vector<ClampEvent>& events) {
+  if (!std::isfinite(watts)) return watts;
+  if (watts > arch.tdp_w * (1.0 + tolerance)) {
+    events.push_back({"power_avg_w", watts, arch.tdp_w,
+                      "board power <= TDP (" + format_value(arch.tdp_w) +
+                          " W on " + arch.name + ")"});
+    return arch.tdp_w;
+  }
+  if (watts < arch.idle_w * (1.0 - tolerance)) {
+    events.push_back({"power_avg_w", watts, arch.idle_w,
+                      "board power >= idle floor (" +
+                          format_value(arch.idle_w) + " W on " + arch.name +
+                          ")"});
+    return arch.idle_w;
+  }
+  return watts;
+}
+
 }  // namespace bf::guard

@@ -51,4 +51,12 @@ std::vector<ClampEvent> clamp_row_to_caps(ml::Dataset& features,
                                           const std::vector<PhysicalCap>& caps,
                                           double tolerance);
 
+/// Clamp a predicted average board power (W) into the arch's physical
+/// envelope [idle_w, tdp_w], tolerating relative violations up to
+/// `tolerance`. Appends a ClampEvent per applied clamp; non-finite
+/// inputs pass through untouched (the prediction guard flags those).
+double clamp_power_to_envelope(const gpusim::ArchSpec& arch, double watts,
+                               double tolerance,
+                               std::vector<ClampEvent>& events);
+
 }  // namespace bf::guard

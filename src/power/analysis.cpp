@@ -1,0 +1,19 @@
+#include "power/analysis.hpp"
+
+#include "common/error.hpp"
+
+namespace bf::power {
+
+core::BottleneckReport analyze_energy_bottlenecks(
+    const ml::Dataset& data, const std::string& workload,
+    const std::string& arch, const EnergyAnalysisOptions& options) {
+  BF_CHECK_MSG(data.has_column(profiling::kPowerColumn),
+               "dataset lacks the power label column '"
+                   << profiling::kPowerColumn << "'");
+  const core::BlackForestModel model =
+      core::BlackForestModel::fit(data, options.model);
+  return core::analyze_bottlenecks(model, workload, arch,
+                                   options.bottleneck);
+}
+
+}  // namespace bf::power

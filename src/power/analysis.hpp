@@ -1,0 +1,35 @@
+// Energy-bottleneck analysis: stage 3 of the methodology (permutation
+// importance + partial dependence) run against the power response, so
+// bf_analyze can rank *energy* bottlenecks next to time bottlenecks.
+#pragma once
+
+#include <string>
+
+#include "core/bottleneck.hpp"
+#include "core/model.hpp"
+#include "ml/dataset.hpp"
+#include "profiling/sweep.hpp"
+
+namespace bf::power {
+
+struct EnergyAnalysisOptions {
+  /// Forest configuration for the power-response model. The constructor
+  /// pins response = power and excludes the time column.
+  core::ModelOptions model;
+  core::BottleneckOptions bottleneck;
+
+  EnergyAnalysisOptions() {
+    model.response = profiling::kPowerColumn;
+    model.exclude = {profiling::kTimeColumn};
+    model.forest.min_node_size = 2;  // see core::ProblemScalingOptions
+  }
+};
+
+/// Fit a power-response forest over `data` and rank the counters driving
+/// board power (the same permutation-importance + partial-dependence
+/// report core::analyze_bottlenecks produces for time).
+core::BottleneckReport analyze_energy_bottlenecks(
+    const ml::Dataset& data, const std::string& workload,
+    const std::string& arch, const EnergyAnalysisOptions& options = {});
+
+}  // namespace bf::power

@@ -173,11 +173,30 @@ ProfileResult Profiler::profile(const Workload& workload,
     if (fault::should_fire(fault::points::kProfilerNoiseSpike)) {
       out.time_ms *= 4.0;
     }
+    // Injected power-label spike: a power-rail sensor glitch inflates
+    // this replicate's derived power label 5x; median aggregation
+    // should reject it and the TDP check rule catches a leak.
+    if (fault::should_fire(fault::points::kPowerLabelSpike)) {
+      const auto it = out.counters.find("power_avg_w");
+      if (it != out.counters.end() && std::isfinite(it->second)) {
+        it->second *= 5.0;
+      }
+    }
   }
 
   if (options_.validate) {
     auto metrics = out.counters;
     metrics["time_ms"] = out.time_ms;
+    // Validation-only energy mirror: recompute the breakdown at the
+    // reported time so energy = power x time is checked on one
+    // consistent basis (noise cancels); a unit slip inside
+    // estimate_power still shifts energy_j by 1000x and fires the rule.
+    if (metrics.count("power_avg_w") != 0) {
+      const gpusim::PowerBreakdown pb =
+          gpusim::estimate_power(device.arch(), agg.counters, out.time_ms);
+      metrics["power_total_w"] = pb.total_w;
+      metrics["energy_j"] = pb.energy_j;
+    }
     check::throw_if_errors(
         check::validate_metrics(metrics, device.arch()),
         "profiled run of '" + workload.name + "' on " + out.arch);

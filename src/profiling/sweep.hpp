@@ -28,6 +28,9 @@ namespace bf::profiling {
 inline constexpr const char* kTimeColumn = "time_ms";
 /// Column name of the problem-characteristic column.
 inline constexpr const char* kSizeColumn = "size";
+/// Column name of the estimated board-power label (the alternative
+/// response variable bf::power trains on).
+inline constexpr const char* kPowerColumn = "power_avg_w";
 
 struct SweepOptions {
   /// Inject the Table 2 machine characteristics (wsched, freq, smp, rco,

@@ -1,0 +1,22 @@
+// Renderings of the power rows a bf::power-annotated PredictionSeries
+// carries: an ASCII table (size, watts, joules, grade) for terminals and
+// a JSON export so CI can assert on the energy path machine-readably.
+#pragma once
+
+#include <string>
+
+#include "core/predictor.hpp"
+
+namespace bf::report {
+
+/// Multi-line ASCII table of the series' power rows: one line per size
+/// with predicted board power, derived energy and the power guard grade.
+/// Empty string when the series carries no power rows.
+std::string power_text(const bf::core::PredictionSeries& series);
+
+/// Write the power rows as JSON: per-size power_w / energy_j / grade
+/// plus the guard interval and any clamp notes.
+void export_power_json(const std::string& path,
+                       const bf::core::PredictionSeries& series);
+
+}  // namespace bf::report

@@ -66,12 +66,15 @@ const std::vector<LayerSpec>& layer_table() {
       {"core",
        {"common", "linalg", "ml", "gpusim", "cpusim", "kernels", "check",
         "guard", "profiling"}},
+      {"power",
+       {"common", "linalg", "ml", "gpusim", "cpusim", "kernels", "check",
+        "guard", "profiling", "core"}},
       {"report",
        {"common", "linalg", "ml", "gpusim", "check", "guard", "profiling",
         "core"}},
       {"serve",
        {"common", "linalg", "ml", "gpusim", "check", "guard", "profiling",
-        "core"}},
+        "core", "power"}},
       {"tools", {"*"}},
       {"tests", {"*"}},
       {"bench", {"*"}},

@@ -25,7 +25,7 @@ const std::vector<RuleSpec> kRegistry = {
      "direct ofstream in the repository layer tears entries on crash "
      "(use bf::atomic_write_file)"},
     {"guarded-predict", Severity::kError,
-     "direct per-row model query in core/tools bypasses the guard layer"},
+     "direct model query in core/power/tools bypasses the guard layer"},
     {"flat-predict", Severity::kError,
      "serve-layer per-row tree walk bypasses the flat inference engine"},
     {"registry-swap", Severity::kError,
@@ -145,6 +145,8 @@ void run_token_rules(const LexedFile& file, const std::string& rel,
   // raw-query exits carry explicit allow() suppressions.
   const bool guard_scope = rel.find("/core/") != std::string::npos ||
                            rel.find("src/core/") == 0 ||
+                           rel.find("/power/") != std::string::npos ||
+                           rel.find("src/power/") == 0 ||
                            rel.find("/tools/") != std::string::npos ||
                            rel.find("tools/") == 0;
 
@@ -214,6 +216,18 @@ void run_token_rules(const LexedFile& file, const std::string& rel,
       report(t.line, "guarded-predict",
              "direct forest prediction bypasses the guard layer (use "
              "ProblemScalingPredictor::predict_guarded)");
+    } else if ((guard_scope || serve_scope) &&
+               (t.text == "predict_time" || t.text == "predict_power") &&
+               i >= 1 &&
+               (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      // The legacy unguarded scalar entry points: a member call drops
+      // hull checks, physical caps and the A/B/C grade. Declarations and
+      // definitions (no member-access prefix) stay clean; the deliberate
+      // --no-guard exits carry allow() suppressions.
+      report(t.line, "guarded-predict",
+             "unguarded '" + t.text +
+                 "' call drops hull checks, physical caps and grades "
+                 "(use predict_guarded)");
     } else if (is_source && t.text == "load" && i + 1 < toks.size() &&
                toks[i + 1].text == "(") {
       // A reader definition: `load(` with an istream parameter close by

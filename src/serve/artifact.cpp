@@ -59,6 +59,13 @@ std::string payload_to_string(const ModelBundle& bundle) {
     os << "\n";
   }
   bundle.predictor.save(os);
+  if (bundle.power.has_value()) {
+    // Optional power record (the v3 addition): written only when present,
+    // so bundles exported without --power stay byte-identical to the v2
+    // writer's payload.
+    os << "power\n";
+    bundle.power->save(os);
+  }
   return os.str();
 }
 
@@ -118,6 +125,15 @@ ModelBundle payload_from_string(const std::string& payload,
   // counters drive the counter chains and the reduced forest inputs.
   BF_CHECK_MSG(bundle.meta.schema == bundle.predictor.retained(),
                origin << ": bundle schema does not match embedded model");
+  // Optional trailing power record (v1/v2 bundles and powerless v3
+  // bundles end at the predictor; peek the tag and rewind otherwise).
+  const std::istringstream::pos_type before_power = is.tellg();
+  if (is >> tag && tag == "power") {
+    bundle.power = bf::power::PowerPredictor::load(is);
+  } else {
+    is.clear();
+    is.seekg(before_power);
+  }
   return bundle;
 }
 
@@ -315,8 +331,10 @@ void export_model(const std::string& path, const std::string& name,
                   const std::string& workload, const std::string& arch,
                   std::size_t trained_rows,
                   const core::ProblemScalingPredictor& predictor,
-                  std::size_t probe_count) {
+                  std::size_t probe_count,
+                  const bf::power::PowerPredictor* power) {
   ModelBundle bundle;
+  if (power != nullptr) bundle.power = *power;
   bundle.meta.name = name;
   bundle.meta.workload = workload;
   bundle.meta.arch = arch;

@@ -20,10 +20,12 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/predictor.hpp"
+#include "power/predictor.hpp"
 
 namespace bf::serve {
 
@@ -31,8 +33,11 @@ namespace bf::serve {
 /// embed the forest in its frozen flat inference layout ("bf_model 2" /
 /// "bf_flat_forest 1" records) instead of the pointer-tree dump; version 1
 /// bundles still load — their forest is frozen on load, so either vintage
-/// serves through the same flat hot path.
-inline constexpr int kBundleFormatVersion = 2;
+/// serves through the same flat hot path. Version 3 adds an *optional*
+/// trailing power record (a bf::power::PowerPredictor trained on the same
+/// sweep); v1/v2 bundles — and v3 bundles exported without --power — load
+/// with no power predictor and predict times bit-identically.
+inline constexpr int kBundleFormatVersion = 3;
 
 /// File suffix of model bundles ("reduce1.bfmodel").
 inline constexpr const char* kBundleSuffix = ".bfmodel";
@@ -69,6 +74,9 @@ struct BundleMeta {
 struct ModelBundle {
   BundleMeta meta;
   core::ProblemScalingPredictor predictor;
+  /// Power response predictor (v3 optional record): present only when the
+  /// exporter embedded one; replies then carry power_w/energy_j fields.
+  std::optional<bf::power::PowerPredictor> power;
 };
 
 /// A bundle plus the on-disk identity the hot-reload layer supervises:
@@ -127,11 +135,13 @@ bool validate_canary(const ModelBundle& bundle, double rtol,
 
 /// Convenience: assemble meta + predictor and save. `probe_count` > 0
 /// records that many golden probes (log-spaced across the training
-/// hull) into the bundle for reload-time canary validation.
+/// hull) into the bundle for reload-time canary validation. A non-null
+/// `power` predictor is embedded as the v3 optional power record.
 void export_model(const std::string& path, const std::string& name,
                   const std::string& workload, const std::string& arch,
                   std::size_t trained_rows,
                   const core::ProblemScalingPredictor& predictor,
-                  std::size_t probe_count = 5);
+                  std::size_t probe_count = 5,
+                  const bf::power::PowerPredictor* power = nullptr);
 
 }  // namespace bf::serve

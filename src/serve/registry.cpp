@@ -349,6 +349,7 @@ std::vector<ModelInfo> ModelRegistry::models() const {
     info.generation = model->generation;
     info.checksum = model->checksum;
     info.loaded_at = model->loaded_at;
+    info.power = model->bundle.power.has_value();
     auto lit = lifecycle_.find(name);
     if (lit != lifecycle_.end()) {
       info.rollbacks = lit->second.rollbacks;

@@ -92,6 +92,7 @@ struct ModelInfo {
   std::string loaded_at;
   std::uint64_t rollbacks = 0;
   bool pinned = false;
+  bool power = false;  ///< bundle carries the v3 power record
 };
 
 struct RegistryStats {

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "power/predictor.hpp"
 #include "serve/json.hpp"
 
 namespace bf::serve {
@@ -76,6 +77,10 @@ struct Server::Computed {
   bool ok = false;
   std::string error;
   guard::PredictionGuardRecord rec{};
+  /// Power response (filled only when the bundle carries the v3 power
+  /// record; powerless replies stay byte-identical to the v2 wire shape).
+  bool has_power = false;
+  bf::power::PowerPrediction power{};
   double latency_us = 0.0;
 };
 
@@ -215,8 +220,14 @@ std::string Server::render_reply(const Request& req,
      << ",\"interval_lo_ms\":" << json_number(rec.lo)
      << ",\"interval_hi_ms\":" << json_number(rec.hi) << ",\"grade\":\""
      << guard::grade_letter(rec.grade) << "\",\"extrapolated\":"
-     << (rec.extrapolated ? "true" : "false")
-     << ",\"latency_us\":" << json_number(result.latency_us) << '}';
+     << (rec.extrapolated ? "true" : "false");
+  if (result.has_power) {
+    os << ",\"power_w\":" << json_number(result.power.power_w)
+       << ",\"energy_j\":" << json_number(result.power.energy_j)
+       << ",\"power_grade\":\""
+       << guard::grade_letter(result.power.energy_grade) << '"';
+  }
+  os << ",\"latency_us\":" << json_number(result.latency_us) << '}';
   return os.str();
 }
 
@@ -245,7 +256,8 @@ std::string Server::stats_reply() const {
        << "\",\"generation\":" << info.generation << ",\"checksum\":\""
        << json_escape(info.checksum) << "\",\"loaded_at\":\""
        << json_escape(info.loaded_at) << "\",\"rollbacks\":" << info.rollbacks
-       << ",\"pinned\":" << (info.pinned ? "true" : "false") << '}';
+       << ",\"pinned\":" << (info.pinned ? "true" : "false")
+       << ",\"power\":" << (info.power ? "true" : "false") << '}';
   }
   os << "]";
   if (net_ != nullptr) {
@@ -348,6 +360,11 @@ std::vector<std::string> Server::handle_batch(
     const auto t0 = std::chrono::steady_clock::now();
     try {
       slot.rec = req.model_ref->bundle.predictor.predict_guarded(req.size);
+      if (req.model_ref->bundle.power.has_value()) {
+        slot.power =
+            req.model_ref->bundle.power->predict_guarded(req.size, slot.rec);
+        slot.has_power = true;
+      }
       slot.ok = true;
     } catch (const std::exception& e) {
       slot.error = e.what();

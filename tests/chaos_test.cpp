@@ -261,6 +261,67 @@ TEST_F(Chaos, MedianOfReplicatesAbsorbsNoiseSpikes) {
   }
 }
 
+TEST_F(Chaos, PowerLabelSpikeInflatesExactlyOneLabel) {
+  const ml::Dataset clean = run_sweep({});
+
+  // A single power-rail sensor glitch (rate 1, one fire): only the first
+  // size's power label is hit, and the fault path multiplies the jittered
+  // label bit-exactly by 5. Every other cell is untouched — the fault
+  // registry draws from its own stream, not the profiler's.
+  fault::configure("power.label.spike:1.0:1");
+  const ml::Dataset spiked = run_sweep({});
+
+  ASSERT_EQ(spiked.num_rows(), clean.num_rows());
+  const auto& clean_p = clean.column(profiling::kPowerColumn);
+  const auto& spiked_p = spiked.column(profiling::kPowerColumn);
+  EXPECT_EQ(spiked_p[0], 5.0 * clean_p[0]);
+  for (std::size_t i = 1; i < clean_p.size(); ++i) {
+    EXPECT_EQ(spiked_p[i], clean_p[i]) << "row " << i;
+  }
+  const auto& clean_t = clean.column(profiling::kTimeColumn);
+  const auto& spiked_t = spiked.column(profiling::kTimeColumn);
+  for (std::size_t i = 0; i < clean_t.size(); ++i) {
+    EXPECT_EQ(spiked_t[i], clean_t[i]) << "row " << i;
+  }
+}
+
+TEST_F(Chaos, MedianOfReplicatesRejectsPowerLabelSpike) {
+  profiling::SweepOptions options;
+  options.replicates = 3;
+  // Keep all three replicates: time-MAD rejection can drop one (the
+  // times differ only by tiny noise, so the MAD cut is arbitrary) and a
+  // two-element median averages — which would let half the spike leak.
+  options.outlier_mad_threshold = 0.0;
+  const ml::Dataset clean = run_sweep(options);
+
+  // The glitch hits one replicate of the first size; a 5x outlier is the
+  // maximum of three, so the per-cell median discards it — the spike may
+  // shift which clean replicate supplies the middle power value, but the
+  // aggregate stays within run-to-run noise (a leak would be ~+130%).
+  fault::configure("power.label.spike:1.0:1");
+  const ml::Dataset spiked = run_sweep(options);
+  ASSERT_EQ(spiked.num_rows(), clean.num_rows());
+  for (const auto& name : clean.column_names()) {
+    const auto& c = clean.column(name);
+    const auto& s = spiked.column(name);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (name == profiling::kPowerColumn) {
+        EXPECT_NEAR(s[i], c[i], 0.02 * c[i]) << name << " row " << i;
+      } else {
+        EXPECT_EQ(s[i], c[i]) << name << " row " << i;
+      }
+    }
+  }
+
+  // And the rejected label would have been physically impossible: the
+  // aggregated power column stays inside the board envelope.
+  const auto arch = gpusim::arch_by_name("gtx580");
+  for (const double w : spiked.column(profiling::kPowerColumn)) {
+    EXPECT_GE(w, arch.idle_w * 0.5);
+    EXPECT_LE(w, arch.tdp_w * 1.05);
+  }
+}
+
 TEST_F(Chaos, SweepReportIsDeterministic) {
   const auto collect = [] {
     fault::reseed(1234);

@@ -1,13 +1,27 @@
 // Tests for the counter-based power model (the §7 extension substrate).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "gpusim/arch.hpp"
 #include "gpusim/engine.hpp"
 #include "gpusim/power.hpp"
 #include "kernels/matmul.hpp"
 #include "kernels/reduce.hpp"
+#include "profiling/workloads.hpp"
 
 namespace bf::gpusim {
 namespace {
+
+// A representative problem size per workload family: element-count
+// workloads stream 2^18 items, dimension-based workloads use n = 256.
+double probe_size(const std::string& name) {
+  if (name.rfind("reduce", 0) == 0 || name == "vecAdd" ||
+      name.rfind("histogram", 0) == 0 || name.rfind("spmv", 0) == 0) {
+    return static_cast<double>(1 << 18);
+  }
+  return 256.0;
+}
 
 TEST(Power, IdleFloorAndComposition) {
   CounterSet empty;
@@ -57,6 +71,82 @@ TEST(Power, ScalesWithActivityNotJustTime) {
       estimate_power(dev.arch(), agg.counters, 2.0 * agg.time_ms);
   EXPECT_NEAR(slow.dram_w, 0.5 * fast.dram_w, 1e-9);
   EXPECT_LT(slow.total_w, fast.total_w);
+}
+
+TEST(Power, SaturatesAtBoardPowerLimit) {
+  // matrixMul's unthrottled demand exceeds the GTX 580 board limit; the
+  // estimate saturates at TDP (power-limit throttling) while the
+  // component fields keep the unthrottled demand for attribution.
+  const Device dev(gtx580());
+  const auto agg = kernels::simulate_matmul(dev, 512);
+  const auto p = estimate_power(dev.arch(), agg.counters, agg.time_ms);
+  const double demand_w = p.idle_w + p.core_w + p.dram_w + p.l2_w + p.shared_w;
+  EXPECT_GT(demand_w, dev.arch().tdp_w);
+  EXPECT_DOUBLE_EQ(p.total_w, dev.arch().tdp_w);
+  EXPECT_NEAR(p.energy_j, dev.arch().tdp_w * agg.time_ms * 1e-3, 1e-9);
+}
+
+TEST(Power, EnvelopeHoldsAcrossAllWorkloadsAndArchs) {
+  // Physical-envelope property over the whole workload library on both
+  // generations: idle floor <= total <= TDP, energy consistent.
+  for (const char* arch_name : {"gtx580", "k20m"}) {
+    const Device dev(arch_by_name(arch_name));
+    for (const auto& w : profiling::all_workloads()) {
+      const auto agg = w.run(dev, probe_size(w.name));
+      const auto p = estimate_power(dev.arch(), agg.counters, agg.time_ms);
+      EXPECT_GE(p.total_w, dev.arch().idle_w - 1e-9)
+          << w.name << " on " << arch_name;
+      EXPECT_LE(p.total_w, dev.arch().tdp_w + 1e-9)
+          << w.name << " on " << arch_name;
+      EXPECT_NEAR(p.energy_j, p.total_w * agg.time_ms * 1e-3, 1e-9)
+          << w.name << " on " << arch_name;
+    }
+  }
+}
+
+TEST(Power, ComponentsMonotoneInDrivingCounters) {
+  // Each power component is non-decreasing in its driving counters, for
+  // every workload on both generations — the substrate the energy
+  // bottleneck ranking stands on (more traffic never predicts less
+  // draw from that unit).
+  struct Bump {
+    const char* label;
+    std::vector<Event> events;
+    double PowerBreakdown::*component;
+  };
+  const std::vector<Bump> bumps = {
+      {"dram",
+       {Event::kDramReadTransactions, Event::kDramWriteTransactions},
+       &PowerBreakdown::dram_w},
+      {"l2",
+       {Event::kL2ReadTransactions, Event::kL2WriteTransactions},
+       &PowerBreakdown::l2_w},
+      {"shared",
+       {Event::kSharedLoad, Event::kSharedStore, Event::kSharedBankConflict},
+       &PowerBreakdown::shared_w},
+      {"core", {Event::kInstExecuted}, &PowerBreakdown::core_w},
+  };
+  for (const char* arch_name : {"gtx580", "k20m"}) {
+    const Device dev(arch_by_name(arch_name));
+    for (const auto& w : profiling::all_workloads()) {
+      const auto agg = w.run(dev, probe_size(w.name));
+      const auto base = estimate_power(dev.arch(), agg.counters, agg.time_ms);
+      for (const auto& bump : bumps) {
+        CounterSet bumped = agg.counters;
+        for (const Event e : bump.events) {
+          bumped.add(e, 0.25 * bumped.get(e) + 1024.0);
+        }
+        const auto p = estimate_power(dev.arch(), bumped, agg.time_ms);
+        EXPECT_GE(p.*bump.component, base.*bump.component)
+            << w.name << " on " << arch_name << ": " << bump.label;
+        // min(demand, tdp) keeps the total monotone too.
+        EXPECT_GE(p.total_w, base.total_w - 1e-12)
+            << w.name << " on " << arch_name << ": " << bump.label;
+        EXPECT_LE(p.total_w, dev.arch().tdp_w + 1e-9)
+            << w.name << " on " << arch_name << ": " << bump.label;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,23 @@
+// Fixture: seeded guarded-predict violations on the power response's
+// scalar entry points — unguarded predict_time/predict_power calls in
+// the power layer must route through predict_guarded instead.
+struct Psp {
+  double predict_time(double size) const;
+};
+struct PowerModel {
+  double predict_power(double size) const;
+  Psp psp_;
+};
+
+double watts(const PowerModel* m, double size) {
+  const double direct = m->predict_power(size);  // seeded: guarded-predict
+  return direct;
+}
+
+double raw(const Psp& p, double size) {
+  return p.predict_time(size);  // seeded: guarded-predict
+}
+
+double audited(const Psp& p, double size) {
+  return p.predict_time(size);  // bf-lint: allow(guarded-predict)
+}

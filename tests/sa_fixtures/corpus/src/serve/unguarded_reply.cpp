@@ -1,0 +1,10 @@
+// Fixture: seeded guarded-predict violation in the serving layer — a
+// reply computed from the unguarded scalar entry point carries no
+// grade, interval or physical-cap fields.
+struct Bundle {
+  double predict_time(double size) const;
+};
+
+double reply(const Bundle& b, double size) {
+  return b.predict_time(size);  // seeded: guarded-predict
+}

@@ -195,6 +195,8 @@ const Expected kCorpusExpected[] = {
     {"guarded-predict", "src/core/raw_query.cpp", 5},
     {"guarded-predict", "src/core/raw_query.cpp", 13},
     {"guarded-predict", "src/core/raw_query.cpp", 14},
+    {"guarded-predict", "src/power/raw_power.cpp", 13},
+    {"guarded-predict", "src/power/raw_power.cpp", 18},
     {"layer-dag", "src/ml/layered.hpp", 4},
     {"artifact-version", "src/ml/reader.cpp", 9},
     {"atomic-write", "src/profiling/torn.cpp", 6},
@@ -202,6 +204,7 @@ const Expected kCorpusExpected[] = {
     {"flat-predict", "src/serve/hot_path.cpp", 9},
     {"registry-swap", "src/serve/pinned.cpp", 9},
     {"registry-swap", "src/serve/pinned.cpp", 10},
+    {"guarded-predict", "src/serve/unguarded_reply.cpp", 9},
 };
 
 TEST(SaCorpus, EverySeededViolationIsFoundAtItsLine) {
@@ -252,11 +255,13 @@ TEST(SaCorpus, LegacyRegexRulesAllMigrated) {
 
 TEST(SaCorpus, SuppressionAccountingCountsTheAuditedAllow) {
   // locks.cpp carries one used suppression (mutable-global on
-  // shared_value) and hot_path.cpp one more (flat-predict on the audited
-  // exit); unused.cpp carries one unused one (reported).
+  // shared_value), hot_path.cpp one more (flat-predict on the audited
+  // exit) and raw_power.cpp a third (guarded-predict on the audited
+  // unguarded scalar query); unused.cpp carries one unused one
+  // (reported).
   const auto report = analyze_corpus();
-  EXPECT_EQ(report.stats.suppressed, 2u);
-  EXPECT_EQ(report.stats.files_scanned, 17u);
+  EXPECT_EQ(report.stats.suppressed, 3u);
+  EXPECT_EQ(report.stats.files_scanned, 19u);
 }
 
 // ---------------------------------------------------------------------------

@@ -23,11 +23,14 @@
 #include "core/predictor.hpp"
 #include "gpusim/arch.hpp"
 #include "guard/guard.hpp"
+#include "power/analysis.hpp"
+#include "power/predictor.hpp"
 #include "profiling/repository.hpp"
 #include "profiling/sweep.hpp"
 #include "profiling/workloads.hpp"
 #include "report/ascii.hpp"
 #include "report/guard_render.hpp"
+#include "report/power_render.hpp"
 #include "serve/artifact.hpp"
 
 namespace {
@@ -57,6 +60,13 @@ void usage() {
       "  --no-guard        disable model-health supervision (legacy\n"
       "                    unguarded prediction path)\n"
       "  --guard-json PATH write the guard report as JSON\n"
+      "  --power           model board power as a second response: ranks\n"
+      "                    energy bottlenecks next to time bottlenecks,\n"
+      "                    adds guarded power/energy predictions, and\n"
+      "                    --export-model embeds the power predictor\n"
+      "                    (bundle format v3)\n"
+      "  --no-power        disable power modelling (the default)\n"
+      "  --power-json PATH write the power predictions as JSON\n"
       "  --check           validate counter invariants instead of\n"
       "                    modelling: sweeps the workload (or, with\n"
       "                    --repo, every stored sweep) and reports rule\n"
@@ -91,6 +101,8 @@ struct Args {
   bool strict_guard = false;
   bool no_guard = false;
   std::string guard_json;
+  bool power = false;
+  std::string power_json;
   std::string export_model;
   int probes = 5;
   std::string from_model;
@@ -138,6 +150,12 @@ Args parse(int argc, char** argv) {
       args.no_guard = true;
     } else if (a == "--guard-json") {
       args.guard_json = next();
+    } else if (a == "--power") {
+      args.power = true;
+    } else if (a == "--no-power") {
+      args.power = false;
+    } else if (a == "--power-json") {
+      args.power_json = next();
     } else if (a == "--repo") {
       args.repo = next();
     } else if (a == "--export-model") {
@@ -280,7 +298,7 @@ int main(int argc, char** argv) {
       if (args.no_guard) {
         for (const double s : args.predict) {
           std::printf("  size %-10g -> %.4f ms\n", s,
-                      bundle.predictor.predict_time(s));
+                      bundle.predictor.predict_time(s));  // bf-lint: allow(guarded-predict)
         }
         return 0;
       }
@@ -291,6 +309,16 @@ int main(int argc, char** argv) {
                     rec.value, rec.lo, rec.hi, guard::grade_letter(rec.grade),
                     rec.extrapolated ? "  (extrapolated)" : "");
         report.predictions.push_back(rec);
+      }
+      if (bundle.power.has_value()) {
+        std::printf("\npower predictions (board watts, energy):\n");
+        for (const double s : args.predict) {
+          const auto pp = bundle.power->predict_guarded(
+              s, bundle.predictor.predict_guarded(s));
+          std::printf("  size %-10g -> %.2f W  %.5f J  grade %c\n", s,
+                      pp.power_w, pp.energy_j,
+                      guard::grade_letter(pp.energy_grade));
+        }
       }
       std::printf("\n%s", report::guard_text(report).c_str());
       if (!args.guard_json.empty()) {
@@ -355,6 +383,19 @@ int main(int argc, char** argv) {
                     .c_str());
     std::printf("%s\n", core::to_text(outcome.report).c_str());
 
+    if (args.power) {
+      // Second response: rank the counters driving board power so energy
+      // bottlenecks read next to the time bottlenecks above.
+      bf::power::EnergyAnalysisOptions eopts;
+      eopts.model.forest.n_trees = static_cast<std::size_t>(args.trees);
+      outcome.energy_report = bf::power::analyze_energy_bottlenecks(
+          outcome.data, args.workload, args.arch, eopts);
+      outcome.power_enabled = true;
+      std::printf("energy bottlenecks (response %s):\n%s\n",
+                  profiling::kPowerColumn,
+                  core::to_text(outcome.energy_report).c_str());
+    }
+
     if (!args.predict.empty() || !args.export_model.empty()) {
       core::ProblemScalingOptions pso;
       pso.model.forest.n_trees = static_cast<std::size_t>(args.trees);
@@ -363,30 +404,62 @@ int main(int argc, char** argv) {
       pso.arch = config.arch;
       const auto predictor =
           core::ProblemScalingPredictor::build(outcome.data, pso);
+      std::optional<bf::power::PowerPredictor> ppred;
+      if (args.power) {
+        bf::power::PowerPredictorOptions popts;
+        popts.scaling.model.forest.n_trees =
+            static_cast<std::size_t>(args.trees);
+        popts.scaling.guard.enabled = !args.no_guard;
+        popts.scaling.guard.margin = args.guard_margin;
+        popts.scaling.arch = config.arch;
+        ppred = bf::power::PowerPredictor::build(outcome.data, popts);
+      }
       if (!args.export_model.empty()) {
         serve::export_model(args.export_model, args.workload, args.workload,
                             args.arch, outcome.data.num_rows(), predictor,
-                            static_cast<std::size_t>(args.probes));
-        std::printf("model bundle written to %s\n",
-                    args.export_model.c_str());
+                            static_cast<std::size_t>(args.probes),
+                            ppred.has_value() ? &*ppred : nullptr);
+        std::printf("model bundle written to %s%s\n",
+                    args.export_model.c_str(),
+                    ppred.has_value() ? " (with power record)" : "");
         if (args.predict.empty()) return 0;
       }
       std::printf("problem-scaling predictions:\n");
       if (args.no_guard) {
         for (const double s : args.predict) {
           std::printf("  size %-10g -> %.4f ms\n", s,
-                      predictor.predict_time(s));
+                      predictor.predict_time(s));  // bf-lint: allow(guarded-predict)
+        }
+        if (ppred.has_value()) {
+          std::printf("power predictions (board watts):\n");
+          for (const double s : args.predict) {
+            std::printf("  size %-10g -> %.2f W\n", s,
+                        ppred->predict_power(s));  // bf-lint: allow(guarded-predict)
+          }
         }
         return 0;
       }
 
       guard::GuardReport report = predictor.guard_report();
+      core::PredictionSeries pseries;
       for (const double s : args.predict) {
         const auto rec = predictor.predict_guarded(s);
         std::printf("  size %-10g -> %.4f ms  [%.4f, %.4f]  grade %c%s\n", s,
                     rec.value, rec.lo, rec.hi, guard::grade_letter(rec.grade),
                     rec.extrapolated ? "  (extrapolated)" : "");
         report.predictions.push_back(rec);
+        pseries.sizes.push_back(s);
+        pseries.predicted_ms.push_back(rec.value);
+      }
+      if (ppred.has_value()) {
+        bf::power::annotate_series(pseries, *ppred);
+        std::printf("\npower predictions (board watts, energy):\n%s",
+                    report::power_text(pseries).c_str());
+        if (!args.power_json.empty()) {
+          report::export_power_json(args.power_json, pseries);
+          std::printf("power report written to %s\n",
+                      args.power_json.c_str());
+        }
       }
       std::printf("\n%s", report::guard_text(report).c_str());
       outcome.guard = report;
